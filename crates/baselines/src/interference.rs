@@ -1,0 +1,161 @@
+//! Secondary-channel interference: what channel-shifting tags cost other
+//! networks (paper §1 "Non-Interfering", §2, §7).
+//!
+//! HitchHike/FreeRider/MOXcatter tags reflect the excitation signal onto
+//! an adjacent channel ≥ 20 MHz away **without carrier sensing** — a
+//! power-constrained tag cannot afford a receiver to check whether that
+//! channel is busy. Any station operating there sees the backscattered
+//! burst as a collision. WiTAG emits nothing on any secondary channel, so
+//! its interference contribution is identically zero.
+//!
+//! The model: victim traffic on the secondary channel is a Poisson frame
+//! process; every backscatter burst that overlaps a victim frame corrupts
+//! it. We compute the victim's frame-loss probability analytically and by
+//! Monte Carlo.
+
+use witag_sim::rng::Rng;
+
+/// A channel-shifting backscatter workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftingTagWorkload {
+    /// Backscatter bursts per second (each excitation packet the tag
+    /// rides produces one burst on the secondary channel).
+    pub bursts_per_s: f64,
+    /// Duration of one burst (s) — the excitation packet's airtime.
+    pub burst_duration_s: f64,
+}
+
+/// Victim traffic on the secondary channel.
+#[derive(Debug, Clone, Copy)]
+pub struct VictimTraffic {
+    /// Frames per second.
+    pub frames_per_s: f64,
+    /// Frame airtime (s).
+    pub frame_duration_s: f64,
+}
+
+/// Analytic victim frame-loss probability: a victim frame of length `Tf`
+/// is hit iff a burst (length `Tb`) starts within `(−Tb, Tf)` of its
+/// start; with Poisson bursts at rate λ the hit probability is
+/// `1 − exp(−λ·(Tf + Tb))`.
+pub fn victim_loss_probability(tag: &ShiftingTagWorkload, victim: &VictimTraffic) -> f64 {
+    let window = victim.frame_duration_s + tag.burst_duration_s;
+    1.0 - (-tag.bursts_per_s * window).exp()
+}
+
+/// Monte-Carlo estimate of the same quantity (used to validate the
+/// analytic form and to support non-Poisson extensions).
+pub fn simulate_victim_loss(
+    tag: &ShiftingTagWorkload,
+    victim: &VictimTraffic,
+    horizon_s: f64,
+    rng: &mut Rng,
+) -> f64 {
+    // Generate burst intervals.
+    let mut bursts: Vec<(f64, f64)> = Vec::new();
+    let mut t = rng.exponential(tag.bursts_per_s);
+    while t < horizon_s {
+        bursts.push((t, t + tag.burst_duration_s));
+        t += tag.burst_duration_s + rng.exponential(tag.bursts_per_s);
+    }
+    // Generate victim frames and count overlaps.
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut v = rng.exponential(victim.frames_per_s);
+    let mut cursor = 0usize;
+    while v < horizon_s {
+        let end = v + victim.frame_duration_s;
+        while cursor < bursts.len() && bursts[cursor].1 < v {
+            cursor += 1;
+        }
+        let hit = bursts[cursor..]
+            .iter()
+            .take_while(|&&(s, _)| s < end)
+            .any(|&(s, e)| s < end && e > v);
+        if hit {
+            hits += 1;
+        }
+        total += 1;
+        v = end + rng.exponential(victim.frames_per_s);
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// WiTAG's secondary-channel emission: none. Provided so the comparison
+/// table is generated from code, not prose.
+pub fn witag_victim_loss_probability() -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag() -> ShiftingTagWorkload {
+        ShiftingTagWorkload {
+            bursts_per_s: 100.0,
+            burst_duration_s: 1e-3,
+        }
+    }
+
+    fn victim() -> VictimTraffic {
+        VictimTraffic {
+            frames_per_s: 200.0,
+            frame_duration_s: 0.5e-3,
+        }
+    }
+
+    #[test]
+    fn analytic_matches_simulation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let analytic = victim_loss_probability(&tag(), &victim());
+        let simulated = simulate_victim_loss(&tag(), &victim(), 400.0, &mut rng);
+        assert!(
+            (analytic - simulated).abs() < 0.02,
+            "analytic {analytic} vs simulated {simulated}"
+        );
+    }
+
+    #[test]
+    fn loss_grows_with_burst_rate() {
+        let v = victim();
+        let p_low = victim_loss_probability(
+            &ShiftingTagWorkload {
+                bursts_per_s: 10.0,
+                burst_duration_s: 1e-3,
+            },
+            &v,
+        );
+        let p_high = victim_loss_probability(
+            &ShiftingTagWorkload {
+                bursts_per_s: 500.0,
+                burst_duration_s: 1e-3,
+            },
+            &v,
+        );
+        assert!(p_high > p_low * 5.0);
+    }
+
+    #[test]
+    fn witag_contributes_nothing() {
+        assert_eq!(witag_victim_loss_probability(), 0.0);
+    }
+
+    #[test]
+    fn a_busy_shifting_tag_is_devastating() {
+        // A tag riding saturated excitation traffic (~600 frames/s of
+        // 1.5 ms) hits the majority of victim frames.
+        let p = victim_loss_probability(
+            &ShiftingTagWorkload {
+                bursts_per_s: 600.0,
+                burst_duration_s: 1.5e-3,
+            },
+            &victim(),
+        );
+        assert!(p > 0.5, "got {p}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Descriptors of prior WiFi-backscatter systems (paper §1, §2).
+//!
+//! Each system is characterised along the paper's four requirements —
+//! WiFi compatibility, encryption support, power, interference — plus the
+//! deployment facts the related-work section cites. These feed the
+//! requirements-matrix experiment (REQS) and the power comparison (PWR).
+
+use witag_tag::oscillator::Oscillator;
+
+/// Which PHY generations a backscatter system can ride on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhySupport {
+    /// 802.11b DSSS only (obsolete networks).
+    DsssOnly,
+    /// 802.11g OFDM single-stream.
+    OfdmG,
+    /// 802.11n (single-stream modulation tricks).
+    OfdmN,
+    /// Any A-MPDU-capable standard: n, ac, ax.
+    AmpduAny,
+    /// Requires fully custom (non-WiFi) infrastructure.
+    Custom,
+}
+
+/// How a system turns tag state into something a receiver can read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Rewrites PHY symbols into other valid symbols, shifted to a
+    /// second channel (HitchHike / FreeRider / MOXcatter).
+    SymbolTranslation,
+    /// Full-duplex self-interference cancellation reader (BackFi).
+    FullDuplexReader,
+    /// Generates WiFi frames directly from backscatter (Passive WiFi —
+    /// needs a dedicated carrier emitter).
+    SyntheticFrames,
+    /// Channel-level corruption of MAC subframes (WiTAG).
+    SubframeCorruption,
+    /// CSI/RSSI modulation read by a helper device (WiFi Backscatter'14).
+    CsiModulation,
+}
+
+/// One prior system (or WiTAG itself) for comparison purposes.
+#[derive(Debug, Clone)]
+pub struct SystemProfile {
+    /// Published name.
+    pub name: &'static str,
+    /// Venue/year of publication.
+    pub venue: &'static str,
+    /// PHY generations it works with.
+    pub phy: PhySupport,
+    /// Tag-to-receiver mechanism.
+    pub mechanism: Mechanism,
+    /// Needs modified AP/receiver software or extra hardware.
+    pub needs_infrastructure_mods: bool,
+    /// Works when the network uses WEP/WPA.
+    pub works_with_encryption: bool,
+    /// Reflects onto a secondary channel without carrier sensing.
+    pub shifts_channel: bool,
+    /// Clock the tag needs.
+    pub oscillator: Oscillator,
+    /// Published throughput range (bps).
+    pub throughput_bps: (f64, f64),
+}
+
+impl SystemProfile {
+    /// The paper's §1 requirements, evaluated for this system. Order:
+    /// [WiFi-compatible (n/ac, no mods), works-with-encryption,
+    /// low-power (µW-class), non-interfering].
+    pub fn requirements(&self) -> [bool; 4] {
+        let wifi_compatible =
+            matches!(self.phy, PhySupport::AmpduAny) && !self.needs_infrastructure_mods;
+        let low_power = self.oscillator.power_uw() < 100.0;
+        [
+            wifi_compatible,
+            self.works_with_encryption,
+            low_power,
+            !self.shifts_channel,
+        ]
+    }
+
+    /// `true` if every requirement is met.
+    pub fn meets_all(&self) -> bool {
+        self.requirements().iter().all(|&r| r)
+    }
+}
+
+/// All compared systems, WiTAG last.
+pub fn all_systems() -> Vec<SystemProfile> {
+    vec![
+        SystemProfile {
+            name: "WiFi Backscatter",
+            venue: "SIGCOMM'14",
+            phy: PhySupport::Custom,
+            mechanism: Mechanism::CsiModulation,
+            needs_infrastructure_mods: true,
+            works_with_encryption: true, // reads CSI, not payloads
+            shifts_channel: false,
+            oscillator: Oscillator::Ring { freq_hz: 1e6 },
+            throughput_bps: (100.0, 1_000.0),
+        },
+        SystemProfile {
+            name: "BackFi",
+            venue: "SIGCOMM'15",
+            phy: PhySupport::Custom,
+            mechanism: Mechanism::FullDuplexReader,
+            needs_infrastructure_mods: true,
+            works_with_encryption: false,
+            shifts_channel: false,
+            oscillator: Oscillator::Ring { freq_hz: 20e6 },
+            throughput_bps: (1e6, 5e6),
+        },
+        SystemProfile {
+            name: "Passive WiFi",
+            venue: "NSDI'16",
+            phy: PhySupport::DsssOnly,
+            mechanism: Mechanism::SyntheticFrames,
+            needs_infrastructure_mods: true, // dedicated carrier emitter
+            works_with_encryption: false,
+            shifts_channel: true,
+            oscillator: Oscillator::Ring { freq_hz: 20e6 },
+            throughput_bps: (1e6, 11e6),
+        },
+        SystemProfile {
+            name: "HitchHike",
+            venue: "SenSys'16",
+            phy: PhySupport::DsssOnly,
+            mechanism: Mechanism::SymbolTranslation,
+            needs_infrastructure_mods: true, // second AP + host comparison
+            works_with_encryption: false,
+            shifts_channel: true,
+            oscillator: Oscillator::shifting_ring(),
+            throughput_bps: (60e3, 300e3),
+        },
+        SystemProfile {
+            name: "FreeRider",
+            venue: "CoNEXT'17",
+            phy: PhySupport::OfdmG,
+            mechanism: Mechanism::SymbolTranslation,
+            needs_infrastructure_mods: true,
+            works_with_encryption: false,
+            shifts_channel: true,
+            oscillator: Oscillator::shifting_ring(),
+            throughput_bps: (15e3, 60e3),
+        },
+        SystemProfile {
+            name: "MOXcatter",
+            venue: "MobiSys'18",
+            phy: PhySupport::OfdmN,
+            mechanism: Mechanism::SymbolTranslation,
+            needs_infrastructure_mods: true,
+            works_with_encryption: false,
+            shifts_channel: true,
+            oscillator: Oscillator::shifting_ring(),
+            throughput_bps: (1e3, 50e3),
+        },
+        SystemProfile {
+            name: "WiTAG",
+            venue: "HotNets'18",
+            phy: PhySupport::AmpduAny,
+            mechanism: Mechanism::SubframeCorruption,
+            needs_infrastructure_mods: false,
+            works_with_encryption: true,
+            shifts_channel: false,
+            oscillator: Oscillator::Crystal { freq_hz: 250e3 },
+            throughput_bps: (39e3, 40e3),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_witag_meets_all_requirements() {
+        let systems = all_systems();
+        for s in &systems {
+            if s.name == "WiTAG" {
+                assert!(s.meets_all(), "WiTAG must satisfy the §1 checklist");
+            } else {
+                assert!(
+                    !s.meets_all(),
+                    "{} unexpectedly satisfies every requirement",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_translators_all_shift_channels_and_break_encryption() {
+        for s in all_systems() {
+            if s.mechanism == Mechanism::SymbolTranslation {
+                assert!(s.shifts_channel, "{}", s.name);
+                assert!(!s.works_with_encryption, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_shifters_need_power_hungry_clocks() {
+        for s in all_systems() {
+            if s.shifts_channel && s.mechanism == Mechanism::SymbolTranslation {
+                assert!(
+                    s.oscillator.nominal_hz() >= 20e6,
+                    "{} must need a ≥20 MHz clock",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witag_clock_is_cheapest_among_backscatter_transmitters() {
+        // CSI-modulation (WiFi Backscatter'14) tags also run slow clocks;
+        // the paper's power argument targets the channel-shifting /
+        // frame-synthesising designs, which need ≥ 20 MHz. Those must
+        // cost an order of magnitude more than WiTAG's clock.
+        let systems = all_systems();
+        let witag = systems.iter().find(|s| s.name == "WiTAG").unwrap();
+        for s in &systems {
+            if s.oscillator.nominal_hz() >= 20e6 {
+                assert!(
+                    s.oscillator.power_uw() > 10.0 * witag.oscillator.power_uw(),
+                    "{} clock should dwarf WiTAG's",
+                    s.name
+                );
+            }
+        }
+    }
+}

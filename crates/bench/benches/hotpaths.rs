@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the reproduction's hot paths: the
+//! Viterbi decoder (dominant cost), the full PHY receive chain, A-MPDU
+//! aggregation/parsing, CCMP, the channel evaluation, and one complete
+//! end-to-end query round.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use witag::experiment::{Experiment, ExperimentConfig};
+use witag_channel::{Link, LinkConfig, TagMode, TagSchedule};
+use witag_crypto::CcmpKey;
+use witag_mac::ampdu::{aggregate, deaggregate, Mpdu};
+use witag_mac::header::{Addr, MacHeader};
+use witag_phy::convolutional::{bits_to_llrs, encode_punctured, decode_punctured};
+use witag_phy::mcs::{CodeRate, Mcs};
+use witag_phy::ppdu::{transmit, PhyConfig};
+use witag_phy::receiver::receive;
+use witag_sim::geom::Floorplan;
+use witag_sim::rng::Rng;
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let info_bits = 1000;
+    let data: Vec<u8> = (0..info_bits).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let tx = encode_punctured(&data, CodeRate::R23);
+    let llrs = bits_to_llrs(&tx);
+    let mut g = c.benchmark_group("viterbi");
+    g.throughput(Throughput::Elements(info_bits as u64));
+    g.bench_function("decode_1000_bits_r23", |b| {
+        b.iter(|| decode_punctured(std::hint::black_box(&llrs), CodeRate::R23, info_bits));
+    });
+    g.finish();
+}
+
+fn bench_phy_chain(c: &mut Criterion) {
+    let config = PhyConfig::new(Mcs::ht(5));
+    let psdu = vec![0x5Au8; 1664]; // 16 subframes' worth
+    let ppdu = transmit(&config, &psdu);
+    let mut g = c.benchmark_group("phy");
+    g.throughput(Throughput::Bytes(psdu.len() as u64));
+    g.bench_function("transmit_1664B_mcs5", |b| {
+        b.iter(|| transmit(std::hint::black_box(&config), std::hint::black_box(&psdu)));
+    });
+    g.bench_function("receive_1664B_mcs5", |b| {
+        b.iter(|| receive(std::hint::black_box(&ppdu), 1e-6));
+    });
+    g.finish();
+}
+
+fn bench_ampdu(c: &mut Criterion) {
+    let mpdus: Vec<Mpdu> = (0..64)
+        .map(|seq| Mpdu {
+            header: MacHeader::qos_null(Addr::local(1), Addr::local(2), Addr::local(1), seq),
+            payload: vec![0u8; 70],
+        })
+        .collect();
+    let (psdu, _) = aggregate(&mpdus);
+    let mut g = c.benchmark_group("ampdu");
+    g.throughput(Throughput::Bytes(psdu.len() as u64));
+    g.bench_function("aggregate_64", |b| {
+        b.iter(|| aggregate(std::hint::black_box(&mpdus)));
+    });
+    g.bench_function("deaggregate_64", |b| {
+        b.iter(|| deaggregate(std::hint::black_box(&psdu)));
+    });
+    g.finish();
+}
+
+fn bench_ccmp(c: &mut Criterion) {
+    let hdr = [0x88u8; 26];
+    let a2 = [2u8; 6];
+    let payload = vec![0xA5u8; 256];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("ccmp_encrypt_256B", |b| {
+        b.iter_batched(
+            || CcmpKey::new(&[7u8; 16]),
+            |mut key| key.encrypt(&hdr, &a2, 0, std::hint::black_box(&payload)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let fp = Floorplan::paper_testbed();
+    let mut link = Link::new(
+        &fp,
+        Floorplan::los_client_position(),
+        Floorplan::ap_position(),
+        Some(Floorplan::los_client_position().lerp(Floorplan::ap_position(), 0.125)),
+        LinkConfig::default(),
+        1,
+    );
+    let config = PhyConfig::new(Mcs::ht(5));
+    let psdu = vec![0x5Au8; 1664];
+    let ppdu = transmit(&config, &psdu);
+    let schedule = TagSchedule::constant(TagMode::Phase0, ppdu.symbols.len());
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("apply_ppdu_16_subframes", |b| {
+        b.iter(|| link.apply_ppdu(std::hint::black_box(&ppdu), &schedule));
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::fig5(1.0, 99);
+    cfg.link.interference_rate_hz = 0.0;
+    let mut exp = Experiment::new(cfg).unwrap();
+    let bits = [1u8, 0].repeat(31);
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(62));
+    g.bench_function("query_round_64_subframes", |b| {
+        b.iter(|| exp.run_round(std::hint::black_box(&bits)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_viterbi,
+    bench_phy_chain,
+    bench_ampdu,
+    bench_ccmp,
+    bench_channel,
+    bench_end_to_end
+);
+criterion_main!(benches);

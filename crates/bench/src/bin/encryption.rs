@@ -1,0 +1,59 @@
+//! ENC — validates the paper's headline compatibility claim (§1, §4):
+//! WiTAG operates identically over open, WEP and WPA2 (CCMP) networks,
+//! because the tag corrupts whole subframes at the channel level and
+//! never needs to read or rewrite protected bits. Symbol-translation
+//! backscatter (HitchHike et al.) is shown failing on the same networks
+//! for contrast.
+
+use witag::experiment::{Experiment, ExperimentConfig, SecurityMode};
+use witag_baselines::dsss::{deliver_modified_frame, HitchhikeDelivery};
+use witag_bench::{header, rounds_from_env};
+
+fn main() {
+    header("ENC", "§4 (operation over open / WEP / WPA2 networks)");
+    let rounds = rounds_from_env(120);
+
+    println!("Part 1: WiTAG end-to-end, tag 1 m from client, all security modes\n");
+    println!(
+        "{:>8} {:>10} {:>14} {:>18}",
+        "network", "BER", "tput (Kbps)", "decrypt failures"
+    );
+    for (name, mode) in [
+        ("open", SecurityMode::Open),
+        ("WEP", SecurityMode::Wep),
+        ("WPA2", SecurityMode::Wpa2),
+    ] {
+        let mut cfg = ExperimentConfig::fig5(1.0, 0x901);
+        cfg.security = mode;
+        let mut exp = Experiment::new(cfg).unwrap();
+        let stats = exp.run(rounds);
+        println!(
+            "{:>8} {:>10.4} {:>14.1} {:>18}",
+            name,
+            stats.ber(),
+            stats.throughput_kbps(),
+            exp.decrypt_failures
+        );
+    }
+    println!("\npaper: identical operation in all three modes; decrypt failures = 0");
+    println!("(surviving subframes always carry untouched, verifiable payloads).");
+
+    println!("\nPart 2: contrast — symbol-translating tag (HitchHike) delivery outcomes\n");
+    let payload = b"sensor reading: 21.5C";
+    let cases = [
+        ("open network, unmodified AP", None, false),
+        ("open network, modified AP", None, true),
+        ("WEP network, modified AP", Some(&b"ABCDE"[..]), true),
+    ];
+    for (desc, key, modified) in cases {
+        let outcome = deliver_modified_frame(payload, true, key, modified);
+        let verdict = match outcome {
+            HitchhikeDelivery::RecoveredWithModifiedAp => "tag data recovered",
+            HitchhikeDelivery::DroppedByFcs => "frame dropped (FCS)",
+            HitchhikeDelivery::RejectedByCrypto => "rejected (ICV/MIC)",
+        };
+        println!("  {desc:<32} -> {verdict}");
+    }
+    println!("\npaper (§2): symbol modification breaks the FCS on stock APs and the");
+    println!("ICV/MIC on protected networks — no AP modification can fix the latter.");
+}

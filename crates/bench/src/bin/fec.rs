@@ -1,0 +1,74 @@
+//! FEC — evaluates the paper's §4.1 future work ("WiTAG requires a
+//! mechanism to detect and correct possible errors") using this
+//! reproduction's concrete design: interleaved Hamming(7,4) over the tag
+//! bit-channel.
+//!
+//! Runs the raw channel at each Figure-5 position, then applies the
+//! outer code to the same bit transport and reports the residual
+//! payload-bit error rate and the goodput cost (rate 32/62 per query).
+
+use witag::experiment::{Experiment, ExperimentConfig};
+use witag::fec::FecLayout;
+use witag_bench::{header, rounds_from_env};
+use witag_sim::rng::Rng;
+
+fn main() {
+    header("FEC", "§4.1 future work (error correction over the tag channel)");
+    let rounds = rounds_from_env(150);
+    let layout = FecLayout::fit(62);
+    println!(
+        "outer code: {} interleaved Hamming(7,4) codewords, {} payload bits per query (rate {:.2})\n",
+        layout.codewords,
+        layout.data_bits(),
+        layout.data_bits() as f64 / 62.0
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>16}",
+        "dist (m)", "raw BER", "coded BER", "corrected/q", "goodput (Kbps)"
+    );
+
+    for dist in [1.0f64, 4.0, 7.0] {
+        let mut exp = Experiment::new(ExperimentConfig::fig5(dist, 0xB01)).unwrap();
+        let mut rng = Rng::seed_from_u64(0xB02);
+        let mut raw_errors = 0usize;
+        let mut raw_total = 0usize;
+        let mut coded_errors = 0usize;
+        let mut coded_total = 0usize;
+        let mut corrections = 0usize;
+        let mut elapsed = 0.0f64;
+        for _ in 0..rounds {
+            // Payload -> FEC -> tag channel bits (pad to 62 with 1s).
+            let payload: Vec<u8> = (0..layout.data_bits())
+                .map(|_| (rng.next_u64() & 1) as u8)
+                .collect();
+            let mut channel_bits = layout.encode(&payload);
+            channel_bits.resize(62, 1);
+            let r = exp.run_round(&channel_bits);
+            elapsed += r.airtime.as_secs_f64();
+            raw_errors += r.errors.errors();
+            raw_total += r.errors.total;
+            // Decode the received channel bits.
+            let (decoded, fixed) = layout.decode(&r.readout.bits[..layout.channel_bits()]);
+            corrections += fixed;
+            coded_errors += decoded
+                .iter()
+                .zip(payload.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            coded_total += payload.len();
+        }
+        let goodput =
+            (coded_total - coded_errors) as f64 / elapsed / 1e3;
+        println!(
+            "{:>10.1} {:>12.4} {:>14.4} {:>14.2} {:>16.1}",
+            dist,
+            raw_errors as f64 / raw_total as f64,
+            coded_errors as f64 / coded_total as f64,
+            corrections as f64 / rounds as f64,
+            goodput
+        );
+    }
+    println!("\nexpected: the outer code crushes the raw BER by 1-2 orders of");
+    println!("magnitude wherever raw BER < ~2%, at a fixed 48% goodput cost —");
+    println!("a concrete instantiation of the paper's future-work mechanism.");
+}

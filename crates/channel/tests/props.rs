@@ -1,0 +1,116 @@
+//! Property-based tests for the channel model: physical sanity for
+//! arbitrary geometries and tag states.
+
+use proptest::prelude::*;
+use witag_channel::{Link, LinkConfig, TagMode};
+use witag_phy::params::{Bandwidth, SubcarrierLayout};
+use witag_sim::geom::{Floorplan, Point2};
+
+fn quiet() -> LinkConfig {
+    LinkConfig {
+        interference_rate_hz: 0.0,
+        ..LinkConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SNR decreases with distance in free space (monotone link budget).
+    #[test]
+    fn snr_monotone_in_distance(d1 in 1.0f64..40.0, factor in 1.2f64..4.0) {
+        let fp = Floorplan::free_space();
+        let snr_at = |d: f64| {
+            Link::new(
+                &fp,
+                Point2::new(0.0, 0.0),
+                Point2::new(d, 0.0),
+                None,
+                LinkConfig { n_env_rays: 0, ..quiet() },
+                7,
+            )
+            .snr_db()
+        };
+        prop_assert!(snr_at(d1) > snr_at(d1 * factor));
+    }
+
+    /// Phase-flip displacement is exactly twice the on-off displacement
+    /// for any tag placement (the §5.2 identity).
+    #[test]
+    fn flip_doubles_ook_everywhere(tx_frac in 0.05f64..0.95, ty in 1.0f64..6.0) {
+        let fp = Floorplan::paper_testbed();
+        let client = Floorplan::los_client_position();
+        let ap = Floorplan::ap_position();
+        let tag = Point2::new(
+            client.x + (ap.x - client.x) * tx_frac,
+            ty,
+        );
+        let link = Link::new(&fp, client, ap, Some(tag), quiet(), 11);
+        let layout = SubcarrierLayout::new(Bandwidth::Mhz20);
+        let ook = link.tag_delta_magnitude(TagMode::OpenCircuit, TagMode::ShortCircuit, &layout);
+        let flip = link.tag_delta_magnitude(TagMode::Phase0, TagMode::Phase180, &layout);
+        prop_assume!(ook > 1e-12);
+        prop_assert!((flip / ook - 2.0).abs() < 1e-6, "ratio {}", flip / ook);
+    }
+
+    /// Absent and open-circuit tags are indistinguishable; a reflecting
+    /// tag always changes the channel.
+    #[test]
+    fn tag_mode_identities(frac in 0.1f64..0.9) {
+        let fp = Floorplan::paper_testbed();
+        let client = Floorplan::los_client_position();
+        let ap = Floorplan::ap_position();
+        let tag = client.lerp(ap, frac);
+        let link = Link::new(&fp, client, ap, Some(tag), quiet(), 13);
+        let layout = SubcarrierLayout::new(Bandwidth::Mhz20);
+        prop_assert_eq!(
+            link.tag_delta_magnitude(TagMode::Absent, TagMode::OpenCircuit, &layout),
+            0.0
+        );
+        prop_assert!(
+            link.tag_delta_magnitude(TagMode::Absent, TagMode::ShortCircuit, &layout) > 0.0
+        );
+        prop_assert_eq!(
+            link.tag_delta_magnitude(TagMode::Phase0, TagMode::ShortCircuit, &layout),
+            0.0
+        );
+    }
+
+    /// The same seed gives the same channel; different seeds differ.
+    #[test]
+    fn channel_deterministic_per_seed(seed in any::<u64>()) {
+        let fp = Floorplan::paper_testbed();
+        let client = Floorplan::los_client_position();
+        let ap = Floorplan::ap_position();
+        let layout = SubcarrierLayout::new(Bandwidth::Mhz20);
+        let mk = |s: u64| {
+            Link::new(&fp, client, ap, None, quiet(), s)
+                .response(TagMode::Absent, &layout)
+        };
+        let h1 = mk(seed);
+        let h2 = mk(seed);
+        for (a, b) in h1.iter().zip(h2.iter()) {
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    /// Channel responses are finite for any in-building geometry.
+    #[test]
+    fn responses_always_finite(
+        cx in 0.5f64..17.5, cy in 0.5f64..6.5,
+        tx_frac in 0.0f64..1.0,
+    ) {
+        let fp = Floorplan::paper_testbed();
+        let ap = Floorplan::ap_position();
+        let client = Point2::new(cx, cy);
+        let tag = client.lerp(ap, tx_frac);
+        let link = Link::new(&fp, client, ap, Some(tag), quiet(), 17);
+        let layout = SubcarrierLayout::new(Bandwidth::Mhz20);
+        for mode in [TagMode::Absent, TagMode::Phase0, TagMode::Phase180, TagMode::ShortCircuit] {
+            for h in link.response(mode, &layout) {
+                prop_assert!(h.is_finite());
+            }
+        }
+        prop_assert!(link.snr_db().is_finite());
+    }
+}

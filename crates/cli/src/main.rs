@@ -1,0 +1,291 @@
+//! `witag` — command-line front end to the WiTAG reproduction.
+//!
+//! ```text
+//! witag run    [--distance 1.0] [--rounds 150] [--seed 42] [--quiet]
+//!              [--security open|wep|wpa2] [--encoding flip|ook]
+//!              [--clock-khz 250] [--temp 0]
+//! witag nlos   [--location a|b] [--windows 10] [--rounds 40] [--seed 7]
+//! witag sweep  [--from 1] [--to 7] [--step 1] [--rounds 100]
+//! witag design [--distance 1.0] [--clock-khz 250] [--subframes 64]
+//! witag send   --message "text" [--distance 2] [--max-queries 400]
+//! witag floorplan
+//! ```
+//!
+//! Every subcommand prints a deterministic result for a given `--seed`.
+
+mod args;
+
+use args::{ArgError, Args};
+use witag::experiment::{Experiment, ExperimentConfig, SecurityMode};
+use witag::query::QueryDesign;
+use witag::tagnet::deliver;
+use witag_channel::{Link, LinkConfig};
+use witag_sim::geom::Floorplan;
+use witag_tag::device::BitEncoding;
+use witag_tag::oscillator::Oscillator;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => fail(&e),
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&parsed),
+        "nlos" => cmd_nlos(&parsed),
+        "sweep" => cmd_sweep(&parsed),
+        "design" => cmd_design(&parsed),
+        "send" => cmd_send(&parsed),
+        "floorplan" => cmd_floorplan(&parsed),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'\n");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        fail(&e);
+    }
+}
+
+fn fail(e: &ArgError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2)
+}
+
+fn usage() {
+    eprintln!(
+        "witag — MAC-layer WiFi backscatter (HotNets'18 reproduction)\n\n\
+         subcommands:\n\
+         \x20 run        one scenario: BER/throughput at a tag position\n\
+         \x20 nlos       the paper's Figure-6 NLOS locations\n\
+         \x20 sweep      Figure-5 style distance sweep\n\
+         \x20 design     show the query design for a link\n\
+         \x20 send       deliver a message via the reliable transport\n\
+         \x20 floorplan  print the simulated testbed geometry\n\n\
+         run `witag <cmd> --help` semantics: all options have defaults;\n\
+         see crates/cli/src/main.rs for the full list."
+    );
+}
+
+/// Shared scenario options.
+fn scenario(a: &Args) -> Result<ExperimentConfig, ArgError> {
+    let distance = a.f64_or("distance", 1.0)?;
+    let seed = a.u64_or("seed", 42)?;
+    let mut cfg = ExperimentConfig::fig5(distance, seed);
+    if a.flag("quiet") {
+        cfg.link.interference_rate_hz = 0.0;
+    }
+    cfg.security = match a.str_or("security", "open") {
+        "open" => SecurityMode::Open,
+        "wep" => SecurityMode::Wep,
+        "wpa2" => SecurityMode::Wpa2,
+        other => {
+            return Err(ArgError::BadValue {
+                key: "security".into(),
+                value: other.into(),
+                expected: "open|wep|wpa2",
+            })
+        }
+    };
+    cfg.encoding = match a.str_or("encoding", "flip") {
+        "flip" => BitEncoding::PhaseFlip,
+        "ook" => BitEncoding::OnOffKeying,
+        other => {
+            return Err(ArgError::BadValue {
+                key: "encoding".into(),
+                value: other.into(),
+                expected: "flip|ook",
+            })
+        }
+    };
+    let khz = a.f64_or("clock-khz", 250.0)?;
+    cfg.clock = Oscillator::Crystal { freq_hz: khz * 1e3 };
+    cfg.temperature_delta = a.f64_or("temp", 0.0)?;
+    Ok(cfg)
+}
+
+fn cmd_run(a: &Args) -> Result<(), ArgError> {
+    let cfg = scenario(a)?;
+    let rounds = a.usize_or("rounds", 150)?;
+    a.reject_unknown()?;
+    let mut exp = match Experiment::new(cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("scenario not viable: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "link SNR {:.1} dB; query: {:?}-{:?}, {} B subframes x {}",
+        exp.snr_db(),
+        exp.design.phy.mcs.modulation,
+        exp.design.phy.mcs.code_rate,
+        exp.design.subframe_bytes,
+        exp.design.n_subframes
+    );
+    let stats = exp.run(rounds);
+    println!(
+        "{} rounds: BER {:.4} (false0 {}, false1 {}), throughput {:.1} Kbps, \
+         missed triggers {}, lost BAs {}",
+        stats.rounds,
+        stats.ber(),
+        stats.errors.false_zeros,
+        stats.errors.false_ones,
+        stats.throughput_kbps(),
+        stats.missed_triggers,
+        stats.lost_block_acks
+    );
+    Ok(())
+}
+
+fn cmd_nlos(a: &Args) -> Result<(), ArgError> {
+    let seed = a.u64_or("seed", 7)?;
+    let windows = a.usize_or("windows", 10)?;
+    let rounds = a.usize_or("rounds", 40)?;
+    let loc = a.str_or("location", "both").to_string();
+    a.reject_unknown()?;
+    let run = |name: &str, cfg: ExperimentConfig| {
+        let mut exp = Experiment::new(cfg).expect("NLOS scenario viable");
+        let mut stats = exp.run_windows(windows, rounds);
+        println!(
+            "location {name}: SNR {:.1} dB, mean BER {:.4}, p90 window BER {:.4}, tput {:.1} Kbps",
+            exp.snr_db(),
+            stats.ber(),
+            stats.window_bers.percentile(90.0).unwrap_or(0.0),
+            stats.throughput_kbps()
+        );
+    };
+    match loc.as_str() {
+        "a" => run("A", ExperimentConfig::nlos_a(seed)),
+        "b" => run("B", ExperimentConfig::nlos_b(seed)),
+        _ => {
+            run("A", ExperimentConfig::nlos_a(seed));
+            run("B", ExperimentConfig::nlos_b(seed));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(a: &Args) -> Result<(), ArgError> {
+    let from = a.f64_or("from", 1.0)?;
+    let to = a.f64_or("to", 7.0)?;
+    let step = a.f64_or("step", 1.0)?;
+    let rounds = a.usize_or("rounds", 100)?;
+    let seed = a.u64_or("seed", 42)?;
+    a.reject_unknown()?;
+    println!("{:>10} {:>10} {:>14}", "dist (m)", "BER", "tput (Kbps)");
+    let mut d = from;
+    while d <= to + 1e-9 {
+        let mut exp = Experiment::new(ExperimentConfig::fig5(d, seed)).expect("viable");
+        let stats = exp.run(rounds);
+        println!("{d:>10.2} {:>10.4} {:>14.1}", stats.ber(), stats.throughput_kbps());
+        d += step.max(0.01);
+    }
+    Ok(())
+}
+
+fn cmd_design(a: &Args) -> Result<(), ArgError> {
+    let distance = a.f64_or("distance", 1.0)?;
+    let khz = a.f64_or("clock-khz", 250.0)?;
+    let subframes = a.usize_or("subframes", 64)?;
+    a.reject_unknown()?;
+    let fp = Floorplan::paper_testbed();
+    let client = Floorplan::los_client_position();
+    let ap = Floorplan::ap_position();
+    let tag = client.lerp(ap, distance / client.distance(ap));
+    let link = Link::new(&fp, client, ap, Some(tag), LinkConfig::default(), 1);
+    let clock = Oscillator::Crystal { freq_hz: khz * 1e3 };
+    match QueryDesign::best(&link, &clock, subframes, 2) {
+        Some(d) => {
+            println!("link SNR:         {:.1} dB", link.snr_db());
+            println!(
+                "query MCS:        {:?} {:?} ({} MHz)",
+                d.phy.mcs.modulation,
+                d.phy.mcs.code_rate,
+                d.phy.bandwidth.hertz() / 1_000_000
+            );
+            println!(
+                "subframe:         {} bytes = {} OFDM symbols = {}",
+                d.subframe_bytes,
+                d.symbols_per_subframe,
+                d.subframe_airtime()
+            );
+            println!("bits per query:   {}", d.bits_per_query());
+            println!(
+                "marker signature: {:?} (gap {})",
+                d.signature.bursts, d.marker_gap
+            );
+            println!(
+                "est. tag rate:    {:.1} Kbps",
+                d.bits_per_query() as f64 / d.round_airtime_estimate().as_secs_f64() / 1e3
+            );
+        }
+        None => {
+            eprintln!("no feasible corruptible design at this SNR");
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_send(a: &Args) -> Result<(), ArgError> {
+    let message = a.str_or("message", "hello from the tag").to_string();
+    let distance = a.f64_or("distance", 2.0)?;
+    let seed = a.u64_or("seed", 42)?;
+    let max_queries = a.usize_or("max-queries", 400)?;
+    a.reject_unknown()?;
+    let mut exp =
+        Experiment::new(ExperimentConfig::fig5(distance, seed)).expect("scenario viable");
+    let n_bits = exp.design.bits_per_query();
+    match deliver(message.as_bytes(), n_bits, max_queries, |tx| {
+        exp.run_round(tx).readout.bits
+    }) {
+        Some((got, queries)) => {
+            println!(
+                "delivered {} bytes in {queries} queries: {:?}",
+                got.len(),
+                String::from_utf8_lossy(&got)
+            );
+            assert_eq!(got, message.as_bytes(), "transport integrity");
+        }
+        None => {
+            eprintln!("gave up after {max_queries} queries");
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_floorplan(a: &Args) -> Result<(), ArgError> {
+    a.reject_unknown()?;
+    let fp = Floorplan::paper_testbed();
+    println!("testbed reconstruction of the paper's Figure 4 (18 m x 7 m):\n");
+    println!("  AP          at {:?}", Floorplan::ap_position());
+    println!("  LOS client  at {:?}  (8 m from the AP)", Floorplan::los_client_position());
+    println!("  NLOS A      at {:?}  (~7 m)", Floorplan::nlos_a_client_position());
+    println!("  NLOS B      at {:?}  (~17 m)", Floorplan::nlos_b_client_position());
+    println!("\nobstacles:");
+    for o in &fp.obstacles {
+        println!(
+            "  {:?} from ({:.1},{:.1}) to ({:.1},{:.1})  [{:.0} dB/crossing]",
+            o.material,
+            o.segment.a.x,
+            o.segment.a.y,
+            o.segment.b.x,
+            o.segment.b.y,
+            o.material.penetration_loss_db()
+        );
+    }
+    println!("\nreflectors: {:?}", fp.reflectors);
+    Ok(())
+}

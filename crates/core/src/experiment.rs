@@ -1,0 +1,808 @@
+//! The end-to-end experiment runner: every crate composed into the
+//! paper's evaluation loop (§6).
+//!
+//! One *round* is one complete WiTAG exchange:
+//!
+//! 1. the client contends for the channel and transmits the trigger
+//!    markers, then the query A-MPDU;
+//! 2. the tag's envelope detector sees the markers, matches the
+//!    signature, phase-aligns its tick counter, and executes its switch
+//!    schedule during the A-MPDU;
+//! 3. the channel applies per-symbol responses (tag state included),
+//!    noise, and ambient interference;
+//! 4. the AP runs the standard receive chain, de-aggregates, and emits a
+//!    block ACK;
+//! 5. the client reads the tag's bits from the bitmap and we score them
+//!    against what the tag actually sent.
+//!
+//! Neither the AP model nor the client PHY/MAC knows the tag exists —
+//! the corruption channel emerges from the stale-CSI physics.
+//!
+//! **Measurement windows**: the paper measures 1-minute windows
+//! (~100k+ bits at 40 Kbps). Simulating every round at symbol level is
+//! ~10 ms/round, so windows are subsampled: a window is represented by a
+//! configurable number of rounds (default 200 ⇒ 12,400 bits ⇒ BER
+//! resolution 8×10⁻⁵, adequate for the paper's 10⁻³..10⁻¹ range), while
+//! simulated time still advances by the true round airtime so channel
+//! drift statistics are honest. EXPERIMENTS.md discusses the effect.
+
+use crate::query::{BuiltQuery, DesignSpace, QueryDesign};
+use crate::reader::{read_tag_bits, BitErrors, TagReadout};
+use witag_channel::{Link, LinkConfig, TagSchedule};
+use witag_crypto::{CcmpKey, WepKey};
+use witag_mac::access::Contention;
+use witag_mac::header::Addr;
+use witag_mac::{deaggregate, BlockAck, Security};
+use witag_phy::airtime::{block_ack_airtime, LegacyRate};
+use witag_phy::params::timing;
+use witag_phy::receiver::receive;
+use witag_sim::geom::{Floorplan, Point2};
+use witag_sim::stats::SampleSet;
+use witag_sim::time::{Duration, Instant};
+use witag_sim::Rng;
+use witag_tag::device::{BitEncoding, Tag, TagConfig};
+use witag_tag::envelope::{EnergyTrace, EnvelopeDetector};
+use witag_tag::oscillator::Oscillator;
+use witag_tag::power::{rf_harvest_uw, EnergyBank, PowerBudget};
+
+/// Which link-layer security the network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityMode {
+    /// Open network.
+    Open,
+    /// WEP-104.
+    Wep,
+    /// WPA2 (CCMP).
+    Wpa2,
+}
+
+impl SecurityMode {
+    fn build(self) -> (Security, Security) {
+        match self {
+            SecurityMode::Open => (Security::Open, Security::Open),
+            SecurityMode::Wep => (
+                Security::Wep(WepKey::new(b"0123456789abc")),
+                Security::Wep(WepKey::new(b"0123456789abc")),
+            ),
+            SecurityMode::Wpa2 => (
+                Security::Wpa2(Box::new(CcmpKey::new(&[0x42; 16]))),
+                Security::Wpa2(Box::new(CcmpKey::new(&[0x42; 16]))),
+            ),
+        }
+    }
+}
+
+/// Contending foreign WiFi traffic sharing the primary channel.
+///
+/// WiTAG coexists with other stations through plain DCF: foreign frames
+/// delay the querier's channel access (throughput cost) and appear in
+/// the tag's envelope trace as extra bursts (trigger-rejection stress).
+/// Because inter-marker gaps are SIFS-spaced, no compliant station can
+/// seize the medium *inside* a marker sequence — foreign bursts only
+/// ever precede it.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossTraffic {
+    /// Foreign frame arrivals per second (Poisson).
+    pub frames_per_s: f64,
+    /// Mean foreign frame airtime.
+    pub mean_airtime: Duration,
+}
+
+/// Which device transmits the query A-MPDU (paper §4: "although we use
+/// the example of a client device transmitting a query packet, the AP
+/// could also initiate this process").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryOrigin {
+    /// The client transmits queries to the AP (the paper's running
+    /// example).
+    #[default]
+    Client,
+    /// The AP transmits queries to the client, which block-ACKs them.
+    /// Both devices still obtain the tag's data: the AP from the bitmap
+    /// it receives, the client from the subframes it saw fail.
+    Ap,
+}
+
+/// Full scenario description.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The floorplan (geometry + obstacles).
+    pub floorplan: Floorplan,
+    /// Querying client position.
+    pub client: Point2,
+    /// Access point position.
+    pub ap: Point2,
+    /// Tag position.
+    pub tag: Point2,
+    /// Radio/environment parameters.
+    pub link: LinkConfig,
+    /// Tag clock source.
+    pub clock: Oscillator,
+    /// Tag temperature offset from clock calibration (°C).
+    pub temperature_delta: f64,
+    /// Tag bit encoding (phase flip vs on-off keying).
+    pub encoding: BitEncoding,
+    /// Subframes per query (≤ 64).
+    pub n_subframes: usize,
+    /// Unmodulated guard subframes.
+    pub guard_subframes: usize,
+    /// Network security mode.
+    pub security: SecurityMode,
+    /// Override the designer's trigger signature (deployments use
+    /// per-tag signatures as addresses; see the `warehouse_sensors`
+    /// example).
+    pub signature_override: Option<witag_tag::trigger::TriggerSignature>,
+    /// Contending foreign traffic on the primary channel, if any.
+    pub cross_traffic: Option<CrossTraffic>,
+    /// PHY operating space the query designer may use (bandwidth, VHT).
+    pub design_space: DesignSpace,
+    /// Which device transmits the queries.
+    pub origin: QueryOrigin,
+    /// Battery-free energy model: when `Some`, the tag harvests RF from
+    /// the querier's transmissions into a capacitor of this size (µJ)
+    /// and only answers queries it can afford — unanswered queries show
+    /// up as missed triggers (a graceful duty cycle). `None` models the
+    /// paper's prototype, which was bench-powered.
+    pub energy_capacity_uj: Option<f64>,
+    /// Put the block ACK through a real reverse-channel transmit/decode
+    /// at the 24 Mbps legacy basic rate (losses surface as wasted
+    /// rounds). Disabled = assume perfect BA delivery. Default: on.
+    pub model_ba_loss: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Paper Figure 5 setup: LOS lab, AP and client 8 m apart, tag on the
+    /// line between them at `tag_distance_from_client` metres.
+    pub fn fig5(tag_distance_from_client: f64, seed: u64) -> Self {
+        let client = Floorplan::los_client_position();
+        let ap = Floorplan::ap_position();
+        let frac = tag_distance_from_client / client.distance(ap);
+        ExperimentConfig {
+            floorplan: Floorplan::paper_testbed(),
+            client,
+            ap,
+            tag: client.lerp(ap, frac),
+            link: LinkConfig::default(),
+            clock: Oscillator::Crystal { freq_hz: 250e3 },
+            temperature_delta: 0.0,
+            encoding: BitEncoding::PhaseFlip,
+            n_subframes: 64,
+            guard_subframes: 2,
+            security: SecurityMode::Open,
+            signature_override: None,
+            cross_traffic: None,
+            design_space: DesignSpace::default(),
+            origin: QueryOrigin::Client,
+            energy_capacity_uj: None,
+            model_ba_loss: true,
+            seed,
+        }
+    }
+
+    /// Paper Figure 6, location A: client ≈ 7 m from the AP behind the
+    /// wooden partition; tag 1 m from the client.
+    pub fn nlos_a(seed: u64) -> Self {
+        let client = Floorplan::nlos_a_client_position();
+        let ap = Floorplan::ap_position();
+        let mut cfg = ExperimentConfig::fig5(1.0, seed);
+        cfg.client = client;
+        cfg.ap = ap;
+        cfg.tag = client.lerp(ap, 1.0 / client.distance(ap));
+        cfg
+    }
+
+    /// Paper Figure 6, location B: client ≈ 17 m from the AP behind the
+    /// concrete partition; tag 1 m from the client.
+    pub fn nlos_b(seed: u64) -> Self {
+        let client = Floorplan::nlos_b_client_position();
+        let ap = Floorplan::ap_position();
+        let mut cfg = ExperimentConfig::fig5(1.0, seed);
+        cfg.client = client;
+        cfg.ap = ap;
+        cfg.tag = client.lerp(ap, 1.0 / client.distance(ap));
+        cfg
+    }
+}
+
+/// Why an experiment could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// No feasible query design: the client→AP link cannot carry a dense-
+    /// constellation A-MPDU reliably.
+    LinkTooPoor,
+}
+
+impl core::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExperimentError::LinkTooPoor => {
+                write!(f, "link SNR too low for any corruptible query design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// One round's outcome.
+#[derive(Debug, Clone)]
+pub struct RoundResult {
+    /// Bits the tag committed.
+    pub sent: Vec<u8>,
+    /// What the client read back.
+    pub readout: TagReadout,
+    /// Error classification.
+    pub errors: BitErrors,
+    /// Whether the tag's trigger matcher fired.
+    pub triggered: bool,
+    /// Whether the block ACK was lost on the way back (readout invalid;
+    /// the bits count as undelivered).
+    pub ba_lost: bool,
+    /// Wall-clock duration of the round.
+    pub airtime: Duration,
+}
+
+/// Aggregate statistics over many rounds.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Accumulated bit errors.
+    pub errors: BitErrors,
+    /// Simulated time elapsed.
+    pub elapsed: Duration,
+    /// Rounds where the tag failed to trigger.
+    pub missed_triggers: usize,
+    /// Rounds whose block ACK was lost on the return trip.
+    pub lost_block_acks: usize,
+    /// Per-window BERs when run via [`Experiment::run_windows`].
+    pub window_bers: SampleSet,
+}
+
+impl ExperimentStats {
+    /// Overall bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.errors.ber()
+    }
+
+    /// Tag goodput in Kbps: correct bits over elapsed time (the paper's
+    /// "number of bits sent successfully over one second").
+    pub fn throughput_kbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.errors.total - self.errors.errors()) as f64
+            / self.elapsed.as_secs_f64()
+            / 1000.0
+    }
+}
+
+/// A fully wired scenario ready to run rounds.
+pub struct Experiment {
+    /// The resolved query design.
+    pub design: QueryDesign,
+    cfg: ExperimentConfig,
+    link: Link,
+    tag: Tag,
+    tx_sec: Security,
+    /// AP-side security state (exercised for surviving MPDUs).
+    rx_sec: Security,
+    contention: Contention,
+    rng: Rng,
+    now: Instant,
+    seq: u16,
+    /// Count of MIC/ICV failures at the AP (should stay zero — FCS-valid
+    /// frames decrypt fine; tracked to prove it).
+    pub decrypt_failures: u64,
+    /// Queries the tag skipped for lack of harvested energy.
+    pub energy_skips: u64,
+    energy: Option<EnergyBank>,
+    /// Receiver→transmitter channel for the block ACK's return trip
+    /// (reciprocal geometry, independent noise).
+    reverse_link: Link,
+    built: BuiltQuery,
+}
+
+impl Experiment {
+    /// Wire up a scenario.
+    pub fn new(cfg: ExperimentConfig) -> Result<Experiment, ExperimentError> {
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        // The link always runs transmitter -> receiver; an AP-initiated
+        // deployment simply swaps the endpoints (the protocol is
+        // direction-agnostic, paper §4).
+        let (tx_pos, rx_pos) = match cfg.origin {
+            QueryOrigin::Client => (cfg.client, cfg.ap),
+            QueryOrigin::Ap => (cfg.ap, cfg.client),
+        };
+        let link = Link::new(
+            &cfg.floorplan,
+            tx_pos,
+            rx_pos,
+            Some(cfg.tag),
+            cfg.link.clone(),
+            rng.next_u64(),
+        );
+        let reverse_link = Link::new(
+            &cfg.floorplan,
+            rx_pos,
+            tx_pos,
+            Some(cfg.tag),
+            cfg.link.clone(),
+            rng.next_u64(),
+        );
+        let mut design = QueryDesign::best_in(
+            &link,
+            &cfg.clock,
+            cfg.n_subframes,
+            cfg.guard_subframes,
+            cfg.design_space,
+        )
+        .ok_or(ExperimentError::LinkTooPoor)?;
+        if let Some(sig) = &cfg.signature_override {
+            design.signature = sig.clone();
+        }
+        let tag = Tag::new(TagConfig {
+            oscillator: cfg.clock,
+            temperature_delta: cfg.temperature_delta,
+            detector: EnvelopeDetector::default(),
+            profile: design.tag_profile(),
+            encoding: cfg.encoding,
+        });
+        let (mut tx_sec, rx_sec) = cfg.security.build();
+        let built = design.build_query(Addr::local(1), Addr::local(2), &mut tx_sec, 0);
+        let energy = cfg.energy_capacity_uj.map(|cap| {
+            // Harvest income: the querier's own transmissions dominate
+            // (markers + A-MPDU occupy most of the busy time near the
+            // tag); approximate with the incident power at ~40 % duty.
+            let harvest = rf_harvest_uw(link.tag_incident_dbm(1.0)) * 0.4;
+            EnergyBank::new(cap, harvest)
+        });
+        Ok(Experiment {
+            design,
+            cfg,
+            link,
+            tag,
+            tx_sec,
+            rx_sec,
+            contention: Contention::new(),
+            rng,
+            now: Instant::ZERO,
+            seq: 0,
+            decrypt_failures: 0,
+            energy_skips: 0,
+            energy,
+            reverse_link,
+            built,
+        })
+    }
+
+    /// The client→AP link SNR (dB).
+    pub fn snr_db(&self) -> f64 {
+        self.link.snr_db()
+    }
+
+    /// Run one query round with the given tag bits (length must be
+    /// `design.bits_per_query()`; shorter is padded with 1s by the tag).
+    pub fn run_round(&mut self, bits: &[u8]) -> RoundResult {
+        let design = self.design.clone();
+        let profile = design.tag_profile();
+
+        // -- 1. Contention (deferring to foreign traffic), markers. -----
+        let mut contention = timing::DIFS + self.contention.draw_backoff(&mut self.rng);
+        let mut trace = EnergyTrace::new();
+        let incident = self.link.tag_incident_dbm(1.0);
+        if let Some(ct) = self.cfg.cross_traffic {
+            // Explicit busy/idle timeline: the querier's backoff counts
+            // down only while the medium is idle; every foreign frame
+            // freezes it (its airtime + DIFS) and is heard by the tag.
+            let u = (ct.frames_per_s * ct.mean_airtime.as_secs_f64()).min(0.9);
+            let mut cursor = self.now;
+            // With probability = channel utilisation, a frame is already
+            // in flight on arrival: wait out its residual (mean = half a
+            // frame) + DIFS.
+            if self.rng.chance(u) {
+                let air = Duration::from_secs_f64(
+                    self.rng.exponential(2.0 / ct.mean_airtime.as_secs_f64()),
+                );
+                trace.push(cursor, cursor + air, self.rng.range_f64(-50.0, -25.0));
+                cursor += air + timing::DIFS;
+            }
+            let mut remaining = contention;
+            let mut bursts = 0usize;
+            while bursts < 16 {
+                let gap = Duration::from_secs_f64(self.rng.exponential(ct.frames_per_s));
+                if gap >= remaining {
+                    break;
+                }
+                cursor += gap;
+                remaining -= gap;
+                let air = Duration::from_secs_f64(
+                    self.rng.exponential(1.0 / ct.mean_airtime.as_secs_f64()),
+                );
+                trace.push(cursor, cursor + air, self.rng.range_f64(-50.0, -25.0));
+                cursor += air + timing::DIFS;
+                bursts += 1;
+            }
+            cursor += remaining;
+            contention = cursor - self.now;
+        }
+        self.now += contention;
+        let mut t = self.now;
+        for (i, &burst) in profile.signature.bursts.iter().enumerate() {
+            trace.push(t, t + burst, incident);
+            t += burst;
+            if i != profile.signature.bursts.len() - 1 {
+                t += timing::SIFS;
+            }
+        }
+        t += profile.marker_gap;
+        let ppdu_start = t;
+
+        // -- 2. Build (or reuse) the query and let the tag plan. --------
+        // Rebuild the query each round so sequence numbers and CCMP PNs
+        // advance like a real sender's.
+        self.built = design.build_query(
+            Addr::local(1),
+            Addr::local(2),
+            &mut self.tx_sec,
+            self.seq,
+        );
+        let ppdu_airtime = self.built.ppdu.airtime();
+        trace.push(ppdu_start, ppdu_start + ppdu_airtime, incident);
+
+        self.tag.push_bits(bits);
+        let reference = self.cfg.encoding.reference();
+        // Battery-free gating: answering costs the full budget for the
+        // round's active span (trigger match through the A-MPDU).
+        let can_afford = match &mut self.energy {
+            Some(bank) => {
+                let active_s = (design.marker_airtime()
+                    + design.marker_gap
+                    + ppdu_airtime)
+                    .as_secs_f64();
+                let ok = bank.try_spend(PowerBudget::witag().total_uw(), active_s);
+                if !ok {
+                    self.energy_skips += 1;
+                }
+                ok
+            }
+            None => true,
+        };
+        let plan = if can_afford { self.tag.respond(&trace) } else { None };
+        let triggered = plan.is_some();
+        let n_symbols = self.built.ppdu.symbols.len();
+        let (schedule, sent_bits) = match plan {
+            Some(p) => {
+                let s = p.to_tag_schedule(ppdu_start, &design.phy, n_symbols, reference);
+                (s, p.bits)
+            }
+            None => {
+                // Tag never consumed the bits; drop them so a later
+                // trigger does not replay stale data, and score the
+                // intended bits against the all-delivered readout (every
+                // 0 becomes an error — the cost of a missed trigger).
+                self.tag.drop_pending(bits.len());
+                (TagSchedule::constant(reference, n_symbols), bits.to_vec())
+            }
+        };
+
+        // -- 3. Channel + 4. standard AP receive chain. ------------------
+        let rx = self.link.apply_ppdu(&self.built.ppdu, &schedule);
+        let decoded = receive(&rx, self.link.noise_var());
+        let outcomes = deaggregate(&decoded.bytes);
+
+        // Exercise the security path on surviving MPDUs: FCS-valid frames
+        // must always decrypt (WiTAG never mutates surviving frames).
+        for o in &outcomes {
+            if let Some(mpdu) = &o.mpdu {
+                if self
+                    .rx_sec
+                    .decrypt(&mpdu.header, &mpdu.payload)
+                    .is_err()
+                {
+                    self.decrypt_failures += 1;
+                }
+            }
+        }
+
+        let ba = BlockAck::from_outcomes(
+            Addr::local(1),
+            Addr::local(2),
+            0,
+            self.seq,
+            &outcomes,
+        );
+
+        // -- 5. Block ACK back through the *real* reverse channel. -------
+        // The AP serialises the BA, transmits it at the 24 Mbps basic
+        // rate, and the client decodes it with the standard legacy chain.
+        // The tag sits in its reference state (its schedule ended with
+        // the A-MPDU), so it is just another static reflector here.
+        let ba_rx = if self.cfg.model_ba_loss {
+            let tx = witag_phy::legacy::legacy_transmit(LegacyRate::M24, &ba.to_bytes());
+            let rx = self.reverse_link.apply_legacy(&tx, reference);
+            let bytes = witag_phy::legacy::legacy_receive(&rx, self.reverse_link.noise_var());
+            BlockAck::from_bytes(&bytes)
+        } else {
+            Some(ba)
+        };
+        let ba_lost = ba_rx.is_none();
+        let readout = read_tag_bits(
+            &ba_rx.unwrap_or(ba),
+            design.n_subframes,
+            design.guard_subframes,
+        );
+        let errors = if ba_lost {
+            // Nothing was read; every sent bit is undelivered.
+            BitErrors {
+                total: sent_bits.len(),
+                false_zeros: sent_bits.iter().filter(|&&b| b == 1).count(),
+                false_ones: sent_bits.iter().filter(|&&b| b == 0).count(),
+            }
+        } else {
+            BitErrors::compare(&sent_bits, &readout.bits)
+        };
+        self.contention.on_success();
+
+        // Advance simulated time across the whole exchange.
+        let markers = design.marker_airtime() + design.marker_gap;
+        let round_air = contention
+            + markers
+            + ppdu_airtime
+            + timing::SIFS
+            + block_ack_airtime(LegacyRate::M24);
+        self.now = ppdu_start + ppdu_airtime + timing::SIFS + block_ack_airtime(LegacyRate::M24);
+        if let Some(bank) = &mut self.energy {
+            bank.charge(round_air.as_secs_f64());
+        }
+        self.link.advance(round_air);
+        self.reverse_link.advance(round_air);
+        self.seq = (self.seq + design.n_subframes as u16) % 4096;
+
+        RoundResult {
+            sent: sent_bits,
+            readout,
+            errors,
+            triggered,
+            ba_lost,
+            airtime: round_air,
+        }
+    }
+
+    /// Run `rounds` rounds of random tag data, accumulating statistics.
+    pub fn run(&mut self, rounds: usize) -> ExperimentStats {
+        let mut stats = ExperimentStats::default();
+        let n_bits = self.design.bits_per_query();
+        for _ in 0..rounds {
+            let bits: Vec<u8> = (0..n_bits)
+                .map(|_| (self.rng.next_u64() & 1) as u8)
+                .collect();
+            let r = self.run_round(&bits);
+            stats.rounds += 1;
+            stats.errors.merge(&r.errors);
+            stats.elapsed += r.airtime;
+            if !r.triggered {
+                stats.missed_triggers += 1;
+            }
+            if r.ba_lost {
+                stats.lost_block_acks += 1;
+            }
+        }
+        stats
+    }
+
+    /// Run `windows` measurement windows of `rounds_per_window` rounds
+    /// each, recording one BER sample per window (the paper's per-minute
+    /// measurements, Figure 6).
+    pub fn run_windows(&mut self, windows: usize, rounds_per_window: usize) -> ExperimentStats {
+        let mut total = ExperimentStats::default();
+        for _ in 0..windows {
+            let w = self.run(rounds_per_window);
+            total.rounds += w.rounds;
+            total.errors.merge(&w.errors);
+            total.elapsed += w.elapsed;
+            total.missed_triggers += w.missed_triggers;
+            total.lost_block_acks += w.lost_block_acks;
+            total.window_bers.push(w.ber());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.link.interference_rate_hz = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn fig5_near_client_low_ber() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 7))).unwrap();
+        let stats = exp.run(30);
+        assert_eq!(stats.missed_triggers, 0, "crystal tag must always trigger");
+        assert!(
+            stats.ber() < 0.02,
+            "tag 1 m from client must communicate reliably, BER {}",
+            stats.ber()
+        );
+        assert_eq!(exp.decrypt_failures, 0);
+    }
+
+    #[test]
+    fn fig5_midpoint_worse_than_edges() {
+        let mut near = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 8))).unwrap();
+        let mut mid = Experiment::new(quiet(ExperimentConfig::fig5(4.0, 8))).unwrap();
+        let near_ber = near.run(40).ber();
+        let mid_ber = mid.run(40).ber();
+        assert!(
+            mid_ber >= near_ber,
+            "midpoint BER {mid_ber} must be ≥ near-client BER {near_ber}"
+        );
+    }
+
+    #[test]
+    fn throughput_in_tens_of_kbps() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 9))).unwrap();
+        let stats = exp.run(30);
+        let kbps = stats.throughput_kbps();
+        assert!(
+            (15.0..120.0).contains(&kbps),
+            "throughput {kbps} Kbps out of plausible range"
+        );
+    }
+
+    #[test]
+    fn works_over_wpa2() {
+        let mut cfg = quiet(ExperimentConfig::fig5(1.0, 10));
+        cfg.security = SecurityMode::Wpa2;
+        let mut exp = Experiment::new(cfg).unwrap();
+        let stats = exp.run(20);
+        assert!(stats.ber() < 0.02, "WPA2 must not affect the tag channel");
+        assert_eq!(exp.decrypt_failures, 0, "surviving frames must decrypt");
+    }
+
+    #[test]
+    fn works_over_wep() {
+        let mut cfg = quiet(ExperimentConfig::fig5(1.0, 11));
+        cfg.security = SecurityMode::Wep;
+        let mut exp = Experiment::new(cfg).unwrap();
+        let stats = exp.run(20);
+        assert!(stats.ber() < 0.02);
+        assert_eq!(exp.decrypt_failures, 0);
+    }
+
+    #[test]
+    fn nlos_scenarios_construct_and_run() {
+        for cfg in [ExperimentConfig::nlos_a(12), ExperimentConfig::nlos_b(12)] {
+            let mut exp = Experiment::new(quiet(cfg)).unwrap();
+            let stats = exp.run(10);
+            assert_eq!(stats.rounds, 10);
+            assert!(stats.ber() < 0.5);
+        }
+    }
+
+    #[test]
+    fn window_runs_collect_samples() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(2.0, 13))).unwrap();
+        let stats = exp.run_windows(5, 8);
+        assert_eq!(stats.window_bers.len(), 5);
+        assert_eq!(stats.rounds, 40);
+    }
+
+    #[test]
+    fn cross_traffic_slows_but_does_not_break() {
+        let mut quiet_exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 15))).unwrap();
+        let mut busy_cfg = quiet(ExperimentConfig::fig5(1.0, 15));
+        busy_cfg.cross_traffic = Some(CrossTraffic {
+            frames_per_s: 400.0,
+            mean_airtime: Duration::micros(800),
+        });
+        let mut busy_exp = Experiment::new(busy_cfg).unwrap();
+        let q = quiet_exp.run(25);
+        let b = busy_exp.run(25);
+        assert!(
+            b.throughput_kbps() < q.throughput_kbps() * 0.9,
+            "foreign traffic must cost airtime: {} vs {} Kbps",
+            b.throughput_kbps(),
+            q.throughput_kbps()
+        );
+        assert!(
+            b.ber() < 0.05,
+            "foreign bursts must not confuse the trigger: BER {}",
+            b.ber()
+        );
+        assert_eq!(b.missed_triggers, 0, "markers are protected by SIFS spacing");
+    }
+
+    #[test]
+    fn ba_loss_negligible_on_strong_links() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 16))).unwrap();
+        let stats = exp.run(30);
+        assert_eq!(stats.lost_block_acks, 0, "50 dB link must not drop BAs");
+    }
+
+    #[test]
+    fn battery_free_tag_duty_cycles_gracefully() {
+        // Near the client (−25 dBm incident) the rectifier harvests a
+        // couple of µW at 40% duty; the 4.6 µW active load can only be
+        // afforded part of the time, so some queries go unanswered — but
+        // never with corruption artefacts, and answered ones are clean.
+        let mut cfg = quiet(ExperimentConfig::fig5(1.0, 19));
+        cfg.energy_capacity_uj = Some(0.05); // tiny capacitor
+        let mut exp = Experiment::new(cfg).unwrap();
+        let stats = exp.run(40);
+        assert!(
+            exp.energy_skips > 0,
+            "a tiny capacitor must force duty cycling"
+        );
+        assert!(
+            stats.missed_triggers >= exp.energy_skips as usize,
+            "energy skips appear as missed queries"
+        );
+        // Generous capacitor + same harvest: fewer or no skips.
+        let mut cfg2 = quiet(ExperimentConfig::fig5(1.0, 19));
+        cfg2.energy_capacity_uj = Some(500.0);
+        let mut exp2 = Experiment::new(cfg2).unwrap();
+        let _ = exp2.run(40);
+        assert!(exp2.energy_skips < exp.energy_skips);
+    }
+
+    #[test]
+    fn ap_initiated_queries_work_symmetrically() {
+        // Paper §4: either device may transmit the query; the tag's
+        // geometry-driven performance is symmetric because the two-hop
+        // product Ds·Dr is direction-independent.
+        let mut client_led = Experiment::new(quiet(ExperimentConfig::fig5(2.0, 17))).unwrap();
+        let mut cfg = quiet(ExperimentConfig::fig5(2.0, 17));
+        cfg.origin = QueryOrigin::Ap;
+        let mut ap_led = Experiment::new(cfg).unwrap();
+        let c = client_led.run(25);
+        let a = ap_led.run(25);
+        assert!(c.ber() < 0.02, "client-led BER {}", c.ber());
+        assert!(a.ber() < 0.02, "AP-led BER {}", a.ber());
+        // Same design emerges (the link budget is reciprocal).
+        assert_eq!(
+            client_led.design.subframe_bytes,
+            ap_led.design.subframe_bytes
+        );
+    }
+
+    #[test]
+    fn end_to_end_over_40mhz_and_vht() {
+        use crate::query::DesignSpace;
+        use witag_phy::params::Bandwidth;
+        for (bw, vht) in [(Bandwidth::Mhz40, false), (Bandwidth::Mhz20, true)] {
+            let mut cfg = quiet(ExperimentConfig::fig5(1.0, 18));
+            cfg.design_space = DesignSpace { bandwidth: bw, vht };
+            let mut exp = Experiment::new(cfg).unwrap();
+            let stats = exp.run(15);
+            assert!(
+                stats.ber() < 0.02,
+                "{bw:?}/vht={vht}: BER {} — corruption must work across widths",
+                stats.ber()
+            );
+        }
+    }
+
+    #[test]
+    fn hot_ring_oscillator_degrades_badly() {
+        let mut cfg = quiet(ExperimentConfig::fig5(1.0, 14));
+        cfg.clock = Oscillator::shifting_ring();
+        cfg.temperature_delta = 10.0;
+        // A ring-clocked tag this far off calibration misses triggers (or
+        // smears its schedule): BER collapses toward 0.25+ (half the 0s
+        // unanswered). This is the §7 temperature argument end-to-end.
+        let mut exp = Experiment::new(cfg).unwrap();
+        let stats = exp.run(20);
+        assert!(
+            stats.ber() > 0.1,
+            "hot ring oscillator must fail, BER {}",
+            stats.ber()
+        );
+    }
+}

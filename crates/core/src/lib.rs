@@ -1,0 +1,46 @@
+//! # witag — MAC-layer WiFi backscatter (the paper's contribution)
+//!
+//! End-to-end implementation of WiTAG (Abedi, Mazaheri, Abari, Brecht —
+//! HotNets'18): battery-free tags communicate with unmodified WiFi
+//! devices by selectively corrupting A-MPDU subframes, and the client
+//! reads their bits out of standard block-ACK bitmaps.
+//!
+//! * [`query`] — query construction and the alignment/throughput
+//!   co-design search ([`query::QueryDesign::best`]),
+//! * [`reader`] — block-ACK → tag-bit decoding and error taxonomy
+//!   (false zeros = ambient losses, false ones = missed corruption),
+//! * [`fec`] — the paper's future-work error correction, realised as
+//!   interleaved Hamming(7,4) over the tag bit-channel,
+//! * [`experiment`] — the full evaluation loop (client ⇄ AP ⇄ tag over
+//!   the geometric channel) with presets for every scenario in the
+//!   paper's §6,
+//! * [`tagnet`] — a reliable chunked transport (CRC-framed chunks +
+//!   stop-and-wait ARQ via dual trigger signatures) layered on the raw
+//!   bit channel.
+//!
+//! ```
+//! use witag::experiment::{Experiment, ExperimentConfig};
+//! // Paper Figure 5 operating point: tag 1 m from the client.
+//! let mut cfg = ExperimentConfig::fig5(1.0, 42);
+//! cfg.link.interference_rate_hz = 0.0; // quiet channel for the doctest
+//! let mut exp = Experiment::new(cfg).unwrap();
+//! let stats = exp.run(5);
+//! assert!(stats.ber() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fec;
+pub mod query;
+pub mod reader;
+pub mod tagnet;
+
+pub use experiment::{
+    CrossTraffic, Experiment, ExperimentConfig, ExperimentStats, QueryOrigin, RoundResult,
+    SecurityMode,
+};
+pub use fec::FecLayout;
+pub use query::{BuiltQuery, QueryDesign};
+pub use reader::{read_tag_bits, BitErrors, TagReadout};

@@ -1,0 +1,146 @@
+//! Reading tag data out of block ACKs — the client side of step 2
+//! (paper §4, Figure 2).
+//!
+//! The client transmitted the query, so it knows the block-ACK window and
+//! the subframe layout; everything else is standard MAC behaviour. A `1`
+//! in the bitmap means the subframe survived (tag sent `1` / did
+//! nothing); a `0` means it was corrupted (tag sent `0`) **or** lost to
+//! ambient causes — the fundamental ambiguity the paper accepts (§4.1)
+//! and that its future-work FEC (our [`crate::fec`]) addresses.
+
+use witag_mac::BlockAck;
+
+/// Tag bits recovered from one query round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagReadout {
+    /// One bit per data subframe (guards stripped).
+    pub bits: Vec<u8>,
+    /// Number of guard subframes that were themselves lost — a liveness
+    /// signal: guards are never modulated, so a dead guard means ambient
+    /// loss or tag timing smear, and flags the readout as suspect.
+    pub damaged_guards: usize,
+}
+
+/// Decode a block ACK into tag bits.
+///
+/// `n_subframes`/`guard_subframes` must match the query design the BA
+/// answers.
+pub fn read_tag_bits(ba: &BlockAck, n_subframes: usize, guard_subframes: usize) -> TagReadout {
+    let all = ba.tag_bits(n_subframes);
+    let damaged_guards = all[..guard_subframes].iter().filter(|&&b| b == 0).count();
+    TagReadout {
+        bits: all[guard_subframes..].to_vec(),
+        damaged_guards,
+    }
+}
+
+/// Bit-error statistics between sent and received tag bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BitErrors {
+    /// Compared bit count.
+    pub total: usize,
+    /// Bits where the tag sent 1 but the reader saw 0 (subframe lost
+    /// without the tag's doing — ambient losses / timing smear).
+    pub false_zeros: usize,
+    /// Bits where the tag sent 0 but the reader saw 1 (the tag failed to
+    /// corrupt — reflection too weak).
+    pub false_ones: usize,
+}
+
+impl BitErrors {
+    /// Compare a readout against the bits the tag actually committed.
+    pub fn compare(sent: &[u8], received: &[u8]) -> BitErrors {
+        assert_eq!(sent.len(), received.len(), "bit vectors must align");
+        let mut e = BitErrors {
+            total: sent.len(),
+            ..Default::default()
+        };
+        for (&s, &r) in sent.iter().zip(received.iter()) {
+            match (s, r) {
+                (1, 0) => e.false_zeros += 1,
+                (0, 1) => e.false_ones += 1,
+                _ => {}
+            }
+        }
+        e
+    }
+
+    /// Total errors.
+    pub fn errors(&self) -> usize {
+        self.false_zeros + self.false_ones
+    }
+
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors() as f64 / self.total as f64
+        }
+    }
+
+    /// Accumulate another comparison.
+    pub fn merge(&mut self, other: &BitErrors) {
+        self.total += other.total;
+        self.false_zeros += other.false_zeros;
+        self.false_ones += other.false_ones;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witag_mac::header::Addr;
+
+    fn ba(bitmap: u64) -> BlockAck {
+        BlockAck {
+            ra: Addr::local(1),
+            ta: Addr::local(2),
+            tid: 0,
+            ssn: 0,
+            bitmap,
+        }
+    }
+
+    #[test]
+    fn strips_guards() {
+        // 8 subframes, 2 guards; bitmap LSB-first: guards ok, data mixed.
+        let bitmap = 0b1010_0111;
+        let r = read_tag_bits(&ba(bitmap), 8, 2);
+        assert_eq!(r.bits, vec![1, 0, 0, 1, 0, 1]);
+        assert_eq!(r.damaged_guards, 0);
+    }
+
+    #[test]
+    fn damaged_guard_detected() {
+        let bitmap = 0b1111_1101; // guard 1 lost
+        let r = read_tag_bits(&ba(bitmap), 8, 2);
+        assert_eq!(r.damaged_guards, 1);
+    }
+
+    #[test]
+    fn error_classification() {
+        let sent = [1, 1, 0, 0, 1, 0];
+        let recv = [1, 0, 0, 1, 1, 1];
+        let e = BitErrors::compare(&sent, &recv);
+        assert_eq!(e.total, 6);
+        assert_eq!(e.false_zeros, 1); // position 1
+        assert_eq!(e.false_ones, 2); // positions 3, 5
+        assert!((e.ber() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BitErrors::compare(&[1, 0], &[0, 0]);
+        let b = BitErrors::compare(&[0, 1], &[1, 1]);
+        a.merge(&b);
+        assert_eq!(a.total, 4);
+        assert_eq!(a.false_zeros, 1);
+        assert_eq!(a.false_ones, 1);
+    }
+
+    #[test]
+    fn empty_ber_is_zero() {
+        assert_eq!(BitErrors::default().ber(), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Reliable message transport over the tag bit-channel.
+//!
+//! The paper stops at raw bits and names error handling as future work
+//! (§4.1). This module builds the smallest useful link layer on top:
+//!
+//! * **Chunk framing** — each query carries one chunk: a 4-bit sequence
+//!   number, 20 payload bits and a CRC-8 over both, all wrapped in the
+//!   interleaved-Hamming FEC from [`crate::fec`] (56 channel bits of the
+//!   62 available).
+//! * **Stop-and-wait ARQ** — the tag has no receiver, but the *client*
+//!   controls which trigger signature each query carries, and tags
+//!   already decode signatures (that is how they are addressed). Giving
+//!   every tag two signatures — ADVANCE and REPEAT — turns the query
+//!   itself into a 1-bit acknowledgement channel: after a good chunk the
+//!   client queries with ADVANCE (the tag moves to the next chunk);
+//!   after a bad one it queries with REPEAT (the tag retransmits). This
+//!   stays 100 % within WiTAG's hardware envelope: the tag only ever
+//!   matches marker durations, which it must do anyway.
+//!
+//! The transport is exercised against the full simulation stack in the
+//! workspace integration tests (`tests/tagnet_transport.rs`).
+
+use crate::fec::FecLayout;
+use witag_crypto::crc8;
+
+/// Payload bits carried per chunk.
+pub const CHUNK_PAYLOAD_BITS: usize = 20;
+/// Sequence-number bits per chunk.
+pub const CHUNK_SEQ_BITS: usize = 4;
+/// Data bits per chunk before FEC: seq + payload + CRC-8.
+pub const CHUNK_DATA_BITS: usize = CHUNK_SEQ_BITS + CHUNK_PAYLOAD_BITS + 8;
+
+/// Which query flavour the client sends — the 1-bit feedback channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// "Last chunk arrived; send the next one."
+    Advance,
+    /// "Last chunk was damaged; send it again."
+    Repeat,
+}
+
+/// Encode a chunk: `[seq(4) ‖ payload(20) ‖ crc8(8)]` → FEC → channel
+/// bits, padded with idle 1s to `channel_bits` (the query's capacity).
+///
+/// # Panics
+/// Panics if `payload.len() != CHUNK_PAYLOAD_BITS` or seq ≥ 16, or the
+/// FEC layout cannot fit the chunk.
+pub fn encode_chunk(seq: u8, payload: &[u8], channel_bits: usize) -> Vec<u8> {
+    assert!(seq < 16, "4-bit sequence number");
+    assert_eq!(payload.len(), CHUNK_PAYLOAD_BITS);
+    let layout = FecLayout::fit(channel_bits);
+    assert!(
+        layout.data_bits() >= CHUNK_DATA_BITS,
+        "query too small for a chunk"
+    );
+    let mut data = Vec::with_capacity(layout.data_bits());
+    for i in (0..CHUNK_SEQ_BITS).rev() {
+        data.push((seq >> i) & 1);
+    }
+    data.extend_from_slice(payload);
+    // CRC-8 over the packed (seq ‖ payload) bits, MSB-first packing.
+    let crc = chunk_crc(seq, payload);
+    for i in (0..8).rev() {
+        data.push((crc >> i) & 1);
+    }
+    data.resize(layout.data_bits(), 1); // pad data field
+    let mut channel = layout.encode(&data);
+    channel.resize(channel_bits, 1); // idle-pad the query
+    channel
+}
+
+/// Decode a chunk from received channel bits. Returns `(seq, payload)`
+/// if the CRC verifies.
+pub fn decode_chunk(received: &[u8], channel_bits: usize) -> Option<(u8, Vec<u8>)> {
+    let layout = FecLayout::fit(channel_bits);
+    let (data, _corrected) = layout.decode(&received[..layout.channel_bits()]);
+    let seq = data[..CHUNK_SEQ_BITS]
+        .iter()
+        .fold(0u8, |acc, &b| (acc << 1) | b);
+    let payload: Vec<u8> = data[CHUNK_SEQ_BITS..CHUNK_SEQ_BITS + CHUNK_PAYLOAD_BITS].to_vec();
+    let rx_crc = data[CHUNK_SEQ_BITS + CHUNK_PAYLOAD_BITS..CHUNK_DATA_BITS]
+        .iter()
+        .fold(0u8, |acc, &b| (acc << 1) | b);
+    (chunk_crc(seq, &payload) == rx_crc).then_some((seq, payload))
+}
+
+/// CRC-8 over the chunk header+payload (packed MSB-first).
+fn chunk_crc(seq: u8, payload: &[u8]) -> u8 {
+    let mut bits = Vec::with_capacity(CHUNK_SEQ_BITS + CHUNK_PAYLOAD_BITS);
+    for i in (0..CHUNK_SEQ_BITS).rev() {
+        bits.push((seq >> i) & 1);
+    }
+    bits.extend_from_slice(payload);
+    let bytes: Vec<u8> = bits
+        .chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+        .collect();
+    crc8(&bytes)
+}
+
+/// Tag-side transport: chops a message into chunks and serves them under
+/// ADVANCE/REPEAT control.
+#[derive(Debug, Clone)]
+pub struct TagSender {
+    chunks: Vec<Vec<u8>>, // payload bit chunks
+    cursor: usize,
+    /// Whether the current chunk has been transmitted at least once (an
+    /// ADVANCE only moves the window after that).
+    served: bool,
+}
+
+impl TagSender {
+    /// Queue a message (bytes, MSB-first bits, zero-padded into 20-bit
+    /// chunks).
+    pub fn new(message: &[u8]) -> Self {
+        let mut bits: Vec<u8> = message
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1))
+            .collect();
+        let n = bits.len().div_ceil(CHUNK_PAYLOAD_BITS).max(1);
+        bits.resize(n * CHUNK_PAYLOAD_BITS, 0);
+        TagSender {
+            chunks: bits.chunks(CHUNK_PAYLOAD_BITS).map(|c| c.to_vec()).collect(),
+            cursor: 0,
+            served: false,
+        }
+    }
+
+    /// Number of chunks in the message.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// `true` once every chunk has been acknowledged.
+    pub fn done(&self) -> bool {
+        self.cursor >= self.chunks.len()
+    }
+
+    /// Answer one query of the given kind with the channel bits to
+    /// modulate. An ADVANCE acknowledges the chunk served so far and
+    /// moves the window; the first query (nothing served yet) starts
+    /// chunk 0 regardless of kind.
+    pub fn answer(&mut self, kind: QueryKind, channel_bits: usize) -> Vec<u8> {
+        if kind == QueryKind::Advance && self.served {
+            self.cursor += 1;
+            self.served = false;
+        }
+        if self.done() {
+            // Idle fill once complete.
+            return vec![1u8; channel_bits];
+        }
+        self.served = true;
+        let seq = (self.cursor % 16) as u8;
+        encode_chunk(seq, &self.chunks[self.cursor], channel_bits)
+    }
+
+    /// Index of the chunk currently being served.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+}
+
+/// Client-side transport: validates chunks and drives the ARQ.
+#[derive(Debug, Clone, Default)]
+pub struct ArqReader {
+    /// Payload bits accepted so far.
+    pub received: Vec<u8>,
+    expected_seq: u8,
+}
+
+impl ArqReader {
+    /// New reader expecting chunk 0.
+    pub fn new() -> Self {
+        ArqReader::default()
+    }
+
+    /// Process one query's readout; returns the kind of the *next* query
+    /// to send.
+    pub fn process(&mut self, readout_bits: &[u8], channel_bits: usize) -> QueryKind {
+        match decode_chunk(readout_bits, channel_bits) {
+            Some((seq, payload)) if seq == self.expected_seq => {
+                self.received.extend_from_slice(&payload);
+                self.expected_seq = (self.expected_seq + 1) % 16;
+                QueryKind::Advance
+            }
+            Some((seq, _)) if seq.wrapping_add(1) % 16 == self.expected_seq => {
+                // Duplicate of the previous chunk (our ADVANCE was acted
+                // on but we asked again) — ignore and move on.
+                QueryKind::Advance
+            }
+            _ => QueryKind::Repeat,
+        }
+    }
+
+    /// Recover the message bytes (trailing pad dropped to `len` bytes).
+    pub fn message(&self, len: usize) -> Vec<u8> {
+        self.received
+            .chunks(8)
+            .take(len)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+            .collect()
+    }
+}
+
+/// Drive a complete message over an arbitrary bit channel.
+///
+/// `channel` is called once per query with the tag's channel bits and
+/// returns what the client read back (same length). Returns the number
+/// of queries used, or `None` if `max_queries` was exhausted.
+pub fn deliver<F>(
+    message: &[u8],
+    channel_bits: usize,
+    max_queries: usize,
+    mut channel: F,
+) -> Option<(Vec<u8>, usize)>
+where
+    F: FnMut(&[u8]) -> Vec<u8>,
+{
+    let mut tag = TagSender::new(message);
+    let mut reader = ArqReader::new();
+    let mut kind = QueryKind::Advance;
+    for q in 1..=max_queries {
+        let tx = tag.answer(kind, channel_bits);
+        if tag.done() && reader.received.len() >= tag.chunk_count() * CHUNK_PAYLOAD_BITS {
+            return Some((reader.message(message.len()), q - 1));
+        }
+        let rx = channel(&tx);
+        kind = reader.process(&rx, channel_bits);
+    }
+    // One last check after the loop.
+    (reader.received.len() >= tag.chunk_count() * CHUNK_PAYLOAD_BITS)
+        .then(|| (reader.message(message.len()), max_queries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witag_sim::Rng;
+
+    #[test]
+    fn chunk_roundtrip() {
+        let payload: Vec<u8> = (0..20).map(|i| (i % 2) as u8).collect();
+        let tx = encode_chunk(7, &payload, 62);
+        assert_eq!(tx.len(), 62);
+        let (seq, rx) = decode_chunk(&tx, 62).expect("clean chunk must decode");
+        assert_eq!(seq, 7);
+        assert_eq!(rx, payload);
+    }
+
+    #[test]
+    fn chunk_single_error_corrected_by_fec() {
+        let payload = vec![1u8; 20];
+        let mut tx = encode_chunk(3, &payload, 62);
+        tx[10] ^= 1;
+        let (seq, rx) = decode_chunk(&tx, 62).expect("FEC must fix one flip");
+        assert_eq!(seq, 3);
+        assert_eq!(rx, payload);
+    }
+
+    #[test]
+    fn chunk_heavy_damage_detected_by_crc() {
+        let payload = vec![0u8; 20];
+        let mut tx = encode_chunk(3, &payload, 62);
+        for b in tx.iter_mut().take(20) {
+            *b ^= 1;
+        }
+        assert_eq!(decode_chunk(&tx, 62), None, "CRC must catch what FEC cannot fix");
+    }
+
+    #[test]
+    fn clean_channel_delivers_in_minimum_queries() {
+        let message = b"hello, witag transport!";
+        let (got, queries) =
+            deliver(message, 62, 100, |tx| tx.to_vec()).expect("must deliver");
+        assert_eq!(&got, message);
+        // 23 bytes = 184 bits -> 10 chunks; one query per chunk + final.
+        assert!(queries <= 12, "took {queries} queries");
+    }
+
+    #[test]
+    fn lossy_channel_still_delivers() {
+        let message = b"resilient";
+        let mut rng = Rng::seed_from_u64(9);
+        let (got, queries) = deliver(message, 62, 500, |tx| {
+            // 30% of queries are heavily damaged.
+            if rng.chance(0.3) {
+                tx.iter().map(|&b| b ^ (rng.next_u64() & 1) as u8).collect()
+            } else {
+                tx.to_vec()
+            }
+        })
+        .expect("ARQ must push the message through");
+        assert_eq!(&got, message);
+        assert!(queries >= 4, "damage must have cost retransmissions: {queries}");
+    }
+
+    #[test]
+    fn hopeless_channel_gives_up() {
+        let message = b"never";
+        let result = deliver(message, 62, 20, |tx| vec![0u8; tx.len()]);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn empty_message_is_trivially_delivered() {
+        let (got, _) = deliver(b"", 62, 10, |tx| tx.to_vec()).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! AES-128 block cipher (FIPS-197), encryption direction only.
+//!
+//! CCMP needs only the forward cipher (CTR mode and CBC-MAC both encrypt),
+//! so no inverse cipher is implemented. The S-box is computed at first use
+//! from the finite-field inverse rather than pasted as a table, which keeps
+//! the implementation auditable against the specification.
+
+use std::sync::OnceLock;
+
+/// Multiply two elements of GF(2⁸) with the AES reduction polynomial
+/// x⁸ + x⁴ + x³ + x + 1 (0x11B).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// The AES S-box: affine transform of the multiplicative inverse in GF(2⁸).
+fn sbox() -> &'static [u8; 256] {
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        // Build inverses by brute force (256² is nothing, runs once).
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gf_mul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut sbox = [0u8; 256];
+        for (i, entry) in sbox.iter_mut().enumerate() {
+            let x = inv[i];
+            *entry = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+        }
+        sbox
+    })
+}
+
+/// AES-128: 10 rounds, 16-byte key and block.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// Expanded key schedule: 11 round keys of 16 bytes.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let sb = sbox();
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = *key;
+        let mut rcon = 1u8;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            let mut word = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            word.rotate_left(1);
+            for b in word.iter_mut() {
+                *b = sb[*b as usize];
+            }
+            word[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ word[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let sb = sbox();
+        let add_round_key = |state: &mut [u8; 16], rk: &[u8; 16]| {
+            for i in 0..16 {
+                state[i] ^= rk[i];
+            }
+        };
+        let sub_bytes = |state: &mut [u8; 16]| {
+            for b in state.iter_mut() {
+                *b = sb[*b as usize];
+            }
+        };
+        // State is column-major: byte i lives at row i%4, column i/4.
+        let shift_rows = |state: &mut [u8; 16]| {
+            let s = *state;
+            for row in 1..4 {
+                for col in 0..4 {
+                    state[row + 4 * col] = s[row + 4 * ((col + row) % 4)];
+                }
+            }
+        };
+        let mix_columns = |state: &mut [u8; 16]| {
+            for col in 0..4 {
+                let c = &mut state[4 * col..4 * col + 4];
+                let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+                c[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+                c[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+                c[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+                c[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+            }
+        };
+
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypt a copy of `block` and return it.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+impl core::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_spot_values() {
+        let sb = sbox();
+        // FIPS-197 Figure 7 values.
+        assert_eq!(sb[0x00], 0x63);
+        assert_eq!(sb[0x01], 0x7C);
+        assert_eq!(sb[0x53], 0xED);
+        assert_eq!(sb[0xFF], 0x16);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // Key 2b7e1516..., plaintext 3243f6a8..., ciphertext 3925841d...
+        let key = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
+        let pt = [
+            0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+            0x0B, 0x32,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt(&pt), expected);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // Key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt(&pt), expected);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let pt = [0u8; 16];
+        let c1 = Aes128::new(&[0u8; 16]).encrypt(&pt);
+        let c2 = Aes128::new(&[1u8; 16]).encrypt(&pt);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn gf_mul_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+            assert_eq!(gf_mul(a, 2) ^ gf_mul(a, 1), gf_mul(a, 3));
+        }
+        // x * x⁷ = x⁸ ≡ x⁴+x³+x+1 = 0x1B.
+        assert_eq!(gf_mul(0x80, 0x02), 0x1B);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("42"));
+    }
+}

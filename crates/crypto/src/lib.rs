@@ -1,0 +1,38 @@
+//! # witag-crypto — checksums and link-layer encryption
+//!
+//! Everything the MAC layer needs to frame and protect MPDUs, implemented
+//! from scratch (no external crates):
+//!
+//! * [`crc`] — CRC-32 (IEEE 802.3, used as the 802.11 FCS) and CRC-8
+//!   (polynomial 0x07, used by the A-MPDU delimiter).
+//! * [`aes`] — AES-128 block cipher (FIPS-197). Used by CCMP.
+//! * [`ccmp`] — CCMP (AES-CCM per IEEE 802.11i): CTR-mode encryption with a
+//!   CBC-MAC integrity tag, covering the MPDU payload and an AAD derived
+//!   from the MAC header. This is WPA2's data confidentiality protocol.
+//! * [`rc4`] / [`wep`] — the legacy WEP path (RC4 keystream + CRC-32 ICV),
+//!   implemented to demonstrate that WiTAG works over *any* of open, WEP,
+//!   or WPA2 networks, while symbol-modifying backscatter designs break the
+//!   ICV/MIC verification.
+//!
+//! The reproduction's point (paper §1, §4): WiTAG never needs to read or
+//! modify frame *contents*, so ciphertext payloads are as good as plaintext
+//! ones. These primitives let the end-to-end tests prove that, and prove
+//! the converse for HitchHike-style designs.
+//!
+//! None of this code is hardened against side channels; it exists to make
+//! the protocol semantics real, not to protect secrets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod ccmp;
+pub mod crc;
+pub mod rc4;
+pub mod wep;
+
+pub use aes::Aes128;
+pub use ccmp::{CcmpError, CcmpKey};
+pub use crc::{crc32, crc8, verify_fcs, with_fcs};
+pub use rc4::Rc4;
+pub use wep::{WepError, WepKey};

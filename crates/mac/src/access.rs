@@ -1,0 +1,153 @@
+//! DCF/EDCA channel access timing.
+//!
+//! WiTAG's throughput is bounded by how fast query exchanges can be run:
+//!
+//! ```text
+//! [DIFS][backoff][A-MPDU][SIFS][block ACK]  …repeat
+//! ```
+//!
+//! This module produces exchange durations — with random backoff drawn
+//! from the contention window — and implements binary exponential backoff
+//! for retries. It is an airtime model, not a full CSMA state machine:
+//! the reproduction's experiments run a single saturated querier (like
+//! the paper's), so inter-station collision dynamics reduce to the
+//! configured interference process in `witag-channel`.
+
+use witag_phy::airtime::{block_ack_airtime, LegacyRate};
+use witag_phy::params::timing;
+use witag_phy::ppdu::PhyConfig;
+use witag_sim::rng::Rng;
+use witag_sim::time::Duration;
+
+/// Contention/backoff state for one station.
+#[derive(Debug, Clone)]
+pub struct Contention {
+    cw: u32,
+}
+
+impl Default for Contention {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Contention {
+    /// Fresh state at CWmin.
+    pub fn new() -> Self {
+        Contention { cw: timing::CW_MIN }
+    }
+
+    /// Current contention window (slots).
+    pub fn window(&self) -> u32 {
+        self.cw
+    }
+
+    /// Draw a backoff duration for a new transmission attempt.
+    pub fn draw_backoff(&self, rng: &mut Rng) -> Duration {
+        let slots = rng.below(self.cw as u64 + 1);
+        timing::SLOT * slots
+    }
+
+    /// Record a failed exchange: double the window up to CWmax.
+    pub fn on_failure(&mut self) {
+        self.cw = ((self.cw + 1) * 2 - 1).min(timing::CW_MAX);
+    }
+
+    /// Record a successful exchange: reset to CWmin.
+    pub fn on_success(&mut self) {
+        self.cw = timing::CW_MIN;
+    }
+}
+
+/// Timing breakdown of one query exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeTiming {
+    /// DIFS + random backoff.
+    pub contention: Duration,
+    /// A-MPDU PPDU airtime.
+    pub ampdu: Duration,
+    /// SIFS before the block ACK.
+    pub sifs: Duration,
+    /// Block ACK airtime (legacy rate).
+    pub block_ack: Duration,
+}
+
+impl ExchangeTiming {
+    /// Total exchange duration.
+    pub fn total(&self) -> Duration {
+        self.contention + self.ampdu + self.sifs + self.block_ack
+    }
+}
+
+/// Compute the timing of one `A-MPDU → block ACK` exchange.
+pub fn exchange_timing(
+    phy: &PhyConfig,
+    psdu_len: usize,
+    contention: &Contention,
+    ba_rate: LegacyRate,
+    rng: &mut Rng,
+) -> ExchangeTiming {
+    ExchangeTiming {
+        contention: timing::DIFS + contention.draw_backoff(rng),
+        ampdu: phy.airtime(psdu_len),
+        sifs: timing::SIFS,
+        block_ack: block_ack_airtime(ba_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witag_phy::mcs::Mcs;
+
+    #[test]
+    fn backoff_within_window() {
+        let mut rng = Rng::seed_from_u64(1);
+        let c = Contention::new();
+        for _ in 0..200 {
+            let b = c.draw_backoff(&mut rng);
+            assert!(b <= timing::SLOT * timing::CW_MIN as u64);
+            assert_eq!(b.as_nanos() % timing::SLOT.as_nanos(), 0);
+        }
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let mut c = Contention::new();
+        assert_eq!(c.window(), 15);
+        c.on_failure();
+        assert_eq!(c.window(), 31);
+        c.on_failure();
+        assert_eq!(c.window(), 63);
+        for _ in 0..10 {
+            c.on_failure();
+        }
+        assert_eq!(c.window(), timing::CW_MAX);
+        c.on_success();
+        assert_eq!(c.window(), timing::CW_MIN);
+    }
+
+    #[test]
+    fn exchange_total_adds_up() {
+        let mut rng = Rng::seed_from_u64(2);
+        let phy = PhyConfig::new(Mcs::ht(7));
+        let t = exchange_timing(&phy, 2048, &Contention::new(), LegacyRate::M24, &mut rng);
+        assert_eq!(
+            t.total(),
+            t.contention + t.ampdu + t.sifs + t.block_ack
+        );
+        assert!(t.ampdu >= phy.preamble_duration());
+        assert_eq!(t.sifs, timing::SIFS);
+        assert_eq!(t.block_ack, Duration::micros(32));
+    }
+
+    #[test]
+    fn bigger_psdu_longer_exchange() {
+        let mut rng = Rng::seed_from_u64(3);
+        let phy = PhyConfig::new(Mcs::ht(7));
+        let c = Contention::new();
+        let t1 = exchange_timing(&phy, 500, &c, LegacyRate::M24, &mut rng);
+        let t2 = exchange_timing(&phy, 5000, &c, LegacyRate::M24, &mut rng);
+        assert!(t2.ampdu > t1.ampdu);
+    }
+}

@@ -1,0 +1,306 @@
+//! Multi-station DCF (CSMA/CA) simulation.
+//!
+//! A slot-synchronous simulator of the 802.11 distributed coordination
+//! function: n stations contend with binary-exponential backoff;
+//! simultaneous countdown expiry is a collision (EIFS-like recovery),
+//! single winners transmit `frame + SIFS + ACK`. This is the classic
+//! Bianchi-model setting, built so the reproduction can answer a question
+//! the paper waves at (§1 "Non-Interfering", §8): *a WiTAG querier is an
+//! ordinary DCF station* — its query exchanges take a fair share of the
+//! medium and nothing more, and its achievable query rate under
+//! contention follows directly.
+//!
+//! Fidelity notes: perfect carrier sensing (no hidden terminals), no
+//! capture effect, immediate ACKs; retry limits are not modelled (frames
+//! retry until delivered) since saturated fairness and collision
+//! probability — what the tests pin — do not depend on them.
+
+use crate::access::Contention;
+use witag_phy::params::timing;
+use witag_sim::rng::Rng;
+use witag_sim::time::{Duration, Instant};
+
+/// One contending station.
+#[derive(Debug, Clone)]
+pub struct DcfStation {
+    /// Airtime of this station's frames (data + SIFS + ACK).
+    pub exchange_airtime: Duration,
+    /// `None` = saturated (always has a frame); `Some(rate)` = Poisson
+    /// arrivals at `rate` frames/s.
+    pub arrival_rate: Option<f64>,
+    contention: Contention,
+    backoff_slots: Option<u64>,
+    next_arrival: Option<Instant>,
+    queued: usize,
+    /// Completed exchanges.
+    pub delivered: u64,
+    /// Collisions participated in.
+    pub collisions: u64,
+    /// Airtime spent transmitting successfully.
+    pub airtime_used: Duration,
+}
+
+impl DcfStation {
+    /// A saturated station with the given exchange airtime.
+    pub fn saturated(exchange_airtime: Duration) -> Self {
+        DcfStation {
+            exchange_airtime,
+            arrival_rate: None,
+            contention: Contention::new(),
+            backoff_slots: None,
+            next_arrival: None,
+            queued: 1,
+            delivered: 0,
+            collisions: 0,
+            airtime_used: Duration::ZERO,
+        }
+    }
+
+    /// A station with Poisson traffic.
+    pub fn poisson(exchange_airtime: Duration, rate: f64) -> Self {
+        DcfStation {
+            arrival_rate: Some(rate),
+            queued: 0,
+            ..DcfStation::saturated(exchange_airtime)
+        }
+    }
+
+    fn has_frame(&self) -> bool {
+        self.queued > 0 || self.arrival_rate.is_none()
+    }
+}
+
+/// Result of a DCF simulation.
+#[derive(Debug, Clone)]
+pub struct DcfOutcome {
+    /// Per-station copies with their counters filled in.
+    pub stations: Vec<DcfStation>,
+    /// Total simulated time.
+    pub elapsed: Duration,
+    /// Total collision events on the medium.
+    pub collision_events: u64,
+    /// Total successful transmissions.
+    pub successes: u64,
+}
+
+impl DcfOutcome {
+    /// A station's fraction of the total successful airtime.
+    pub fn airtime_share(&self, idx: usize) -> f64 {
+        let total: f64 = self
+            .stations
+            .iter()
+            .map(|s| s.airtime_used.as_secs_f64())
+            .sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stations[idx].airtime_used.as_secs_f64() / total
+        }
+    }
+
+    /// Conditional collision probability: collisions / attempts.
+    pub fn collision_probability(&self) -> f64 {
+        let attempts: u64 = self.successes
+            + self
+                .stations
+                .iter()
+                .map(|s| s.collisions)
+                .sum::<u64>();
+        if attempts == 0 {
+            0.0
+        } else {
+            (attempts - self.successes) as f64 / attempts as f64
+        }
+    }
+}
+
+/// Run DCF with the given stations for `horizon` of simulated time.
+pub fn simulate(mut stations: Vec<DcfStation>, horizon: Duration, seed: u64) -> DcfOutcome {
+    assert!(!stations.is_empty());
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut now = Instant::ZERO;
+    let end = Instant::ZERO + horizon;
+    let mut collision_events = 0u64;
+    let mut successes = 0u64;
+
+    // Initialise arrivals.
+    for s in stations.iter_mut() {
+        if let Some(rate) = s.arrival_rate {
+            s.next_arrival = Some(now + Duration::from_secs_f64(rng.exponential(rate)));
+        }
+    }
+
+    while now < end {
+        // Deliver arrivals up to `now`.
+        for s in stations.iter_mut() {
+            if let (Some(rate), Some(t)) = (s.arrival_rate, s.next_arrival) {
+                let mut t = t;
+                while t <= now {
+                    s.queued += 1;
+                    t += Duration::from_secs_f64(rng.exponential(rate));
+                }
+                s.next_arrival = Some(t);
+            }
+        }
+
+        // Stations with frames draw/hold backoff counters.
+        let mut any_ready = false;
+        for s in stations.iter_mut() {
+            if s.has_frame() {
+                any_ready = true;
+                if s.backoff_slots.is_none() {
+                    s.backoff_slots =
+                        Some(s.contention.draw_backoff(&mut rng).as_nanos() / timing::SLOT.as_nanos());
+                }
+            }
+        }
+        if !any_ready {
+            // Idle until the next arrival.
+            let next = stations
+                .iter()
+                .filter_map(|s| s.next_arrival)
+                .min()
+                .unwrap_or(end);
+            now = next.max(now + timing::SLOT);
+            continue;
+        }
+
+        // Everyone waits DIFS, then counts down together.
+        let min_slots = stations
+            .iter()
+            .filter(|s| s.has_frame())
+            .filter_map(|s| s.backoff_slots)
+            .min()
+            .unwrap_or(0);
+        now += timing::DIFS + timing::SLOT * min_slots;
+
+        let winners: Vec<usize> = stations
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.has_frame() && s.backoff_slots == Some(min_slots))
+            .map(|(i, _)| i)
+            .collect();
+        for s in stations.iter_mut() {
+            if let Some(b) = s.backoff_slots.as_mut() {
+                *b -= min_slots.min(*b);
+            }
+        }
+
+        if winners.len() == 1 {
+            let w = &mut stations[winners[0]];
+            now += w.exchange_airtime;
+            w.delivered += 1;
+            w.airtime_used += w.exchange_airtime;
+            if w.arrival_rate.is_some() {
+                w.queued -= 1;
+            }
+            w.contention.on_success();
+            w.backoff_slots = None;
+            successes += 1;
+        } else {
+            // Collision: medium busy for the longest involved frame; all
+            // involved double their windows and redraw.
+            collision_events += 1;
+            let busy = winners
+                .iter()
+                .map(|&i| stations[i].exchange_airtime)
+                .max()
+                .unwrap();
+            now += busy;
+            for &i in &winners {
+                let s = &mut stations[i];
+                s.collisions += 1;
+                s.contention.on_failure();
+                s.backoff_slots = None;
+            }
+        }
+    }
+
+    DcfOutcome {
+        stations,
+        elapsed: now - Instant::ZERO,
+        collision_events,
+        successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAME: Duration = Duration::micros(1500);
+
+    #[test]
+    fn single_station_never_collides() {
+        let out = simulate(vec![DcfStation::saturated(FRAME)], Duration::secs(1), 1);
+        assert_eq!(out.collision_events, 0);
+        assert!(out.stations[0].delivered > 400, "got {}", out.stations[0].delivered);
+    }
+
+    #[test]
+    fn saturated_stations_share_fairly() {
+        let n = 4;
+        let out = simulate(
+            vec![DcfStation::saturated(FRAME); n],
+            Duration::secs(4),
+            2,
+        );
+        for i in 0..n {
+            let share = out.airtime_share(i);
+            assert!(
+                (share - 1.0 / n as f64).abs() < 0.05,
+                "station {i} share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_probability_grows_with_population() {
+        let p = |n: usize| {
+            simulate(vec![DcfStation::saturated(FRAME); n], Duration::secs(2), 3)
+                .collision_probability()
+        };
+        let p2 = p(2);
+        let p8 = p(8);
+        assert!(p8 > p2, "collisions must grow: {p2} -> {p8}");
+        assert!(p2 > 0.0 && p8 < 0.6);
+    }
+
+    #[test]
+    fn aggregate_throughput_degrades_gracefully() {
+        let total = |n: usize| {
+            let out = simulate(vec![DcfStation::saturated(FRAME); n], Duration::secs(2), 4);
+            out.successes
+        };
+        let t1 = total(1);
+        let t8 = total(8);
+        // More stations = more collisions + more contention overhead, but
+        // DCF keeps aggregate within a sane band.
+        assert!(t8 as f64 > 0.5 * t1 as f64, "{t8} vs {t1}");
+        assert!((t8 as f64) < 1.1 * t1 as f64);
+    }
+
+    #[test]
+    fn poisson_station_keeps_up_under_light_load() {
+        // One light sensor-style station among saturated bullies still
+        // gets every frame through (queue does not blow up).
+        let mut stations = vec![DcfStation::saturated(FRAME); 2];
+        stations.push(DcfStation::poisson(Duration::micros(300), 50.0));
+        let out = simulate(stations, Duration::secs(4), 5);
+        let sensor = &out.stations[2];
+        // ~200 arrivals in 4 s.
+        assert!(
+            sensor.delivered >= 150,
+            "sensor delivered only {}",
+            sensor.delivered
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate(vec![DcfStation::saturated(FRAME); 3], Duration::secs(1), 9);
+        let b = simulate(vec![DcfStation::saturated(FRAME); 3], Duration::secs(1), 9);
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.collision_events, b.collision_events);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the MAC: aggregation geometry, corruption
+//! containment, block-ACK bitmap correctness — for arbitrary MPDU mixes
+//! and arbitrary damage.
+
+use proptest::prelude::*;
+use witag_mac::ampdu::{aggregate, deaggregate, Mpdu};
+use witag_mac::blockack::BlockAck;
+use witag_mac::header::{Addr, FrameKind, MacHeader};
+
+fn mpdu(seq: u16, payload_len: usize) -> Mpdu {
+    let mut h = MacHeader::qos_null(Addr::local(1), Addr::local(2), Addr::local(1), seq % 4096);
+    if payload_len > 0 {
+        h.kind = FrameKind::QosData;
+    }
+    Mpdu {
+        header: h,
+        payload: vec![(seq % 251) as u8; payload_len],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregate_extents_tile_the_psdu(
+        sizes in proptest::collection::vec(0usize..600, 1..64),
+    ) {
+        let mpdus: Vec<Mpdu> = sizes.iter().enumerate()
+            .map(|(i, &len)| mpdu(i as u16, len))
+            .collect();
+        let (psdu, extents) = aggregate(&mpdus);
+        prop_assert_eq!(extents.len(), mpdus.len());
+        prop_assert_eq!(extents[0].start, 0);
+        for w in extents.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "extents must tile");
+            prop_assert_eq!(w[0].end % 4, 0, "non-final subframes 4-byte aligned");
+        }
+        prop_assert_eq!(extents.last().unwrap().end, psdu.len());
+    }
+
+    #[test]
+    fn clean_deaggregation_recovers_everything(
+        sizes in proptest::collection::vec(0usize..600, 1..64),
+    ) {
+        let mpdus: Vec<Mpdu> = sizes.iter().enumerate()
+            .map(|(i, &len)| mpdu(i as u16, len))
+            .collect();
+        let (psdu, _) = aggregate(&mpdus);
+        let outcomes = deaggregate(&psdu);
+        prop_assert_eq!(outcomes.len(), mpdus.len());
+        for (o, m) in outcomes.iter().zip(mpdus.iter()) {
+            prop_assert_eq!(o.mpdu.as_ref(), Some(m));
+        }
+    }
+
+    #[test]
+    fn corruption_is_contained_to_the_damaged_subframe(
+        n in 2usize..32,
+        victim_sel in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mpdus: Vec<Mpdu> = (0..n).map(|i| mpdu(i as u16, 20)).collect();
+        let (mut psdu, extents) = aggregate(&mpdus);
+        let victim = victim_sel.index(n);
+        let e = extents[victim];
+        // Damage the victim's MPDU body only (not its delimiter).
+        for b in &mut psdu[e.mpdu_start..e.mpdu_start + e.mpdu_len] {
+            *b ^= xor;
+        }
+        let outcomes = deaggregate(&psdu);
+        prop_assert_eq!(outcomes.len(), n);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == victim {
+                prop_assert!(o.mpdu.is_none(), "victim {i} must fail");
+            } else {
+                prop_assert!(o.mpdu.is_some(), "bystander {i} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn block_ack_bitmap_matches_loss_pattern(
+        losses in proptest::collection::btree_set(0usize..32, 0..16),
+    ) {
+        let n = 32usize;
+        let mpdus: Vec<Mpdu> = (0..n).map(|i| mpdu(i as u16, 10)).collect();
+        let (mut psdu, extents) = aggregate(&mpdus);
+        for &l in &losses {
+            let e = extents[l];
+            for b in &mut psdu[e.mpdu_start..e.mpdu_start + e.mpdu_len] {
+                *b ^= 0x3C;
+            }
+        }
+        let ba = BlockAck::from_outcomes(
+            Addr::local(2), Addr::local(1), 0, 0, &deaggregate(&psdu));
+        for (i, bit) in ba.tag_bits(n).iter().enumerate() {
+            let expect = u8::from(!losses.contains(&i));
+            prop_assert_eq!(*bit, expect, "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn block_ack_wire_roundtrip(
+        bitmap in any::<u64>(),
+        ssn in 0u16..4096,
+        tid in 0u8..16,
+    ) {
+        let ba = BlockAck {
+            ra: Addr::local(9),
+            ta: Addr::local(7),
+            tid,
+            ssn,
+            bitmap,
+        };
+        prop_assert_eq!(BlockAck::from_bytes(&ba.to_bytes()), Some(ba));
+    }
+
+    #[test]
+    fn header_roundtrip(
+        seq in 0u16..4096,
+        tid in 0u8..16,
+        duration in any::<u16>(),
+        protected in any::<bool>(),
+    ) {
+        let h = MacHeader {
+            kind: FrameKind::QosData,
+            protected,
+            duration,
+            addr1: Addr::local(1),
+            addr2: Addr::local(2),
+            addr3: Addr::local(3),
+            seq,
+            tid,
+        };
+        prop_assert_eq!(MacHeader::from_bytes(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_deaggregator(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // Must terminate and produce no false positives that parse as
+        // valid MPDUs (delimiter CRC + signature + FCS all colliding is
+        // astronomically unlikely for random bytes).
+        let outcomes = deaggregate(&garbage);
+        for o in outcomes {
+            prop_assert!(o.mpdu.is_none());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Complex arithmetic for baseband signal processing.
+//!
+//! A small, self-contained `Complex64` (the offline crate set has no
+//! `num-complex`). Channels, constellation points, and channel estimates
+//! are all values of this type.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real (in-phase) part.
+    pub re: f64,
+    /// Imaginary (quadrature) part.
+    pub im: f64,
+}
+
+/// Shorthand constructor.
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Construct from polar form: `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Complex64 {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`abs`](Complex64::abs)).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex64 {
+        c64(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns zero for zero input rather than NaN so that equalising a
+    /// dead subcarrier produces an erasure instead of poisoning sums.
+    pub fn inv(self) -> Complex64 {
+        let n = self.norm_sqr();
+        if n == 0.0 {
+            Complex64::ZERO
+        } else {
+            c64(self.re / n, -self.im / n)
+        }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Complex64 {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// `true` if both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    // Complex division *is* multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}j", self.re, self.im)
+        } else {
+            write!(f, "{:.4}{:.4}j", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -1.0);
+        assert_eq!(a + b, c64(4.0, 1.0));
+        assert_eq!(a - b, c64(-2.0, 3.0));
+        // (1+2j)(3-j) = 3 - j + 6j - 2j² = 5 + 5j
+        assert_eq!(a * b, c64(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c64(2.5, -1.5);
+        let b = c64(0.3, 0.7);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn inv_of_zero_is_zero_not_nan() {
+        assert_eq!(Complex64::ZERO.inv(), Complex64::ZERO);
+        assert!((Complex64::ZERO / Complex64::ZERO).is_finite());
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, FRAC_PI_2);
+        assert!(close(z, c64(0.0, 2.0)));
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_flip_is_negation() {
+        // The tag's 180° phase switch: e^{jπ}·z = -z.
+        let z = c64(0.7, -0.2);
+        let flipped = z * Complex64::from_polar(1.0, PI);
+        assert!(close(flipped, -z));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = c64(3.0, 4.0);
+        assert_eq!(z.conj(), c64(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!(close(z * z.conj(), c64(25.0, 0.0)));
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Complex64 = (0..4).map(|i| c64(i as f64, 1.0)).sum();
+        assert_eq!(total, c64(6.0, 4.0));
+    }
+}

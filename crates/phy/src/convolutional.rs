@@ -1,0 +1,414 @@
+//! The 802.11 binary convolutional code: K = 7, generators 133/171 (octal),
+//! with the standard puncturing patterns for rates 2/3, 3/4 and 5/6, and a
+//! soft-decision Viterbi decoder.
+//!
+//! This is the component that makes subframe corruption in WiTAG a real
+//! phenomenon: a brief channel change that corrupts only *some* coded bits
+//! may still decode cleanly at low MCS (the code "heals" the subframe — a
+//! tag bit lost), while a large perturbation overwhelms the code and the
+//! FCS fails (the tag bit is delivered). Both regimes appear in the
+//! experiments, so the code must actually operate.
+//!
+//! Soft inputs are log-likelihood ratios with the convention
+//! `llr = ln P(bit = 0) − ln P(bit = 1)`: positive favours 0. Punctured
+//! positions carry `llr = 0` (erasure).
+
+/// Generator polynomial g0 = 133₈.
+const G0: u32 = 0o133;
+/// Generator polynomial g1 = 171₈.
+const G1: u32 = 0o171;
+/// Constraint length.
+pub const CONSTRAINT: usize = 7;
+/// Number of trellis states.
+const STATES: usize = 1 << (CONSTRAINT - 1);
+/// Tail bits appended to terminate the trellis.
+pub const TAIL_BITS: usize = CONSTRAINT - 1;
+
+/// Code rate selector (re-exported type from [`crate::mcs`]).
+pub use crate::mcs::CodeRate;
+
+fn parity(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// The two coded bits emitted when `input` is shifted into `state`.
+#[inline]
+fn branch_output(state: usize, input: u8) -> (u8, u8) {
+    let reg = ((state as u32) << 1) | input as u32;
+    (parity(reg & G0), parity(reg & G1))
+}
+
+/// Encode `data` at the mother rate 1/2, appending [`TAIL_BITS`] zeros to
+/// terminate the trellis. Output length is `2 * (data.len() + TAIL_BITS)`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 * (data.len() + TAIL_BITS));
+    let mut state = 0usize;
+    for &bit in data.iter().chain(core::iter::repeat_n(&0u8, TAIL_BITS)) {
+        debug_assert!(bit <= 1);
+        let (o0, o1) = branch_output(state, bit);
+        out.push(o0);
+        out.push(o1);
+        state = ((state << 1) | bit as usize) & (STATES - 1);
+    }
+    out
+}
+
+/// Puncturing pattern: `true` positions are transmitted, `false` dropped.
+/// Patterns from 802.11-2016 §17.3.5.7 (period over (A,B) output pairs).
+fn puncture_pattern(rate: CodeRate) -> &'static [bool] {
+    match rate {
+        CodeRate::R12 => &[true, true],
+        // A1 B1 A2 (B2 dropped)
+        CodeRate::R23 => &[true, true, true, false],
+        // A1 B1 A2 B3 (B2, A3 dropped)
+        CodeRate::R34 => &[true, true, true, false, false, true],
+        // A1 B1 A2 B3 A4 B5 (B2, A3, B4, A5 dropped)
+        CodeRate::R56 => &[true, true, true, false, false, true, true, false, false, true],
+    }
+}
+
+/// Drop coded bits according to the puncturing pattern for `rate`.
+pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let pattern = puncture_pattern(rate);
+    coded
+        .iter()
+        .zip(pattern.iter().cycle())
+        .filter_map(|(&b, &keep)| keep.then_some(b))
+        .collect()
+}
+
+/// Re-insert erasures (`llr = 0`) at punctured positions, restoring a
+/// soft stream of length `mother_len` (the pre-puncture coded length).
+///
+/// # Panics
+/// Panics if `received` does not contain exactly the number of surviving
+/// positions the pattern dictates for `mother_len`.
+pub fn depuncture(received: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
+    let pattern = puncture_pattern(rate);
+    let mut out = Vec::with_capacity(mother_len);
+    let mut it = received.iter();
+    for i in 0..mother_len {
+        if pattern[i % pattern.len()] {
+            out.push(*it.next().expect("received stream too short for mother length"));
+        } else {
+            out.push(0.0);
+        }
+    }
+    assert!(it.next().is_none(), "received stream too long for mother length");
+    out
+}
+
+/// Number of transmitted coded bits for `info_bits` data bits at `rate`
+/// (including trellis termination).
+pub fn coded_len(info_bits: usize, rate: CodeRate) -> usize {
+    let mother = 2 * (info_bits + TAIL_BITS);
+    let pattern = puncture_pattern(rate);
+    let keep_per_period: usize = pattern.iter().filter(|&&k| k).count();
+    let full = mother / pattern.len();
+    let rem = mother % pattern.len();
+    let rem_keep = pattern[..rem].iter().filter(|&&k| k).count();
+    full * keep_per_period + rem_keep
+}
+
+/// Soft-decision Viterbi decode of a terminated mother-rate stream.
+///
+/// `llrs.len()` must equal `2 * (info_bits + TAIL_BITS)`. Returns the
+/// `info_bits` decoded data bits (tail stripped).
+#[allow(clippy::needless_range_loop)] // state doubles as trellis index and value
+pub fn viterbi_decode(llrs: &[f64], info_bits: usize) -> Vec<u8> {
+    let total_steps = info_bits + TAIL_BITS;
+    assert_eq!(
+        llrs.len(),
+        2 * total_steps,
+        "LLR stream length must be 2*(info+tail)"
+    );
+
+    const NEG_INF: f64 = f64::NEG_INFINITY;
+    let mut metrics = vec![NEG_INF; STATES];
+    metrics[0] = 0.0; // encoder starts in state 0
+    let mut next = vec![NEG_INF; STATES];
+    // decisions[step][state] = winning predecessor's input bit packed with
+    // the predecessor state: we store the predecessor state (u8) since the
+    // input bit is recoverable as (state >> 0) LSB of the *successor*.
+    let mut decisions = vec![0u8; total_steps * STATES];
+
+    for step in 0..total_steps {
+        let l0 = llrs[2 * step];
+        let l1 = llrs[2 * step + 1];
+        next.fill(NEG_INF);
+        for state in 0..STATES {
+            let m = metrics[state];
+            if m == NEG_INF {
+                continue;
+            }
+            for input in 0..2u8 {
+                let (o0, o1) = branch_output(state, input);
+                // llr > 0 favours bit 0: reward matching the hypothesis.
+                let bm = (if o0 == 0 { l0 } else { -l0 }) + (if o1 == 0 { l1 } else { -l1 });
+                let ns = ((state << 1) | input as usize) & (STATES - 1);
+                let cand = m + bm;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    decisions[step * STATES + ns] = state as u8;
+                }
+            }
+        }
+        core::mem::swap(&mut metrics, &mut next);
+    }
+
+    // Terminated trellis: end in state 0 (fall back to the best state if 0
+    // is unreachable, which can only happen with a truncated stream).
+    let mut state = if metrics[0] > NEG_INF {
+        0usize
+    } else {
+        metrics
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(s, _)| s)
+            .unwrap_or(0)
+    };
+
+    let mut bits = vec![0u8; total_steps];
+    for step in (0..total_steps).rev() {
+        bits[step] = (state & 1) as u8; // input bit is successor's LSB
+        state = decisions[step * STATES + state] as usize;
+    }
+    bits.truncate(info_bits);
+    bits
+}
+
+/// Encode a bit stream at the mother rate 1/2 **without** appending tail
+/// bits. This is the form the 802.11 DATA field uses: the 6 tail bits are
+/// part of the (scrambled, then re-zeroed) stream itself, followed by pad
+/// bits, so the encoder just runs over everything.
+pub fn encode_stream(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 * bits.len());
+    let mut state = 0usize;
+    for &bit in bits {
+        debug_assert!(bit <= 1);
+        let (o0, o1) = branch_output(state, bit);
+        out.push(o0);
+        out.push(o1);
+        state = ((state << 1) | bit as usize) & (STATES - 1);
+    }
+    out
+}
+
+/// Soft-decision Viterbi decode of an *unterminated* mother-rate stream of
+/// `n_bits` information bits (`llrs.len() == 2 * n_bits`). Traceback starts
+/// from the best-metric final state.
+#[allow(clippy::needless_range_loop)] // state doubles as trellis index and value
+pub fn viterbi_decode_stream(llrs: &[f64], n_bits: usize) -> Vec<u8> {
+    assert_eq!(llrs.len(), 2 * n_bits, "LLR stream length must be 2*n_bits");
+    const NEG_INF: f64 = f64::NEG_INFINITY;
+    let mut metrics = vec![NEG_INF; STATES];
+    metrics[0] = 0.0;
+    let mut next = vec![NEG_INF; STATES];
+    let mut decisions = vec![0u8; n_bits * STATES];
+
+    for step in 0..n_bits {
+        let l0 = llrs[2 * step];
+        let l1 = llrs[2 * step + 1];
+        next.fill(NEG_INF);
+        for state in 0..STATES {
+            let m = metrics[state];
+            if m == NEG_INF {
+                continue;
+            }
+            for input in 0..2u8 {
+                let (o0, o1) = branch_output(state, input);
+                let bm = (if o0 == 0 { l0 } else { -l0 }) + (if o1 == 0 { l1 } else { -l1 });
+                let ns = ((state << 1) | input as usize) & (STATES - 1);
+                let cand = m + bm;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    decisions[step * STATES + ns] = state as u8;
+                }
+            }
+        }
+        core::mem::swap(&mut metrics, &mut next);
+    }
+
+    let mut state = metrics
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut bits = vec![0u8; n_bits];
+    for step in (0..n_bits).rev() {
+        bits[step] = (state & 1) as u8;
+        state = decisions[step * STATES + state] as usize;
+    }
+    bits
+}
+
+/// Convenience: encode + puncture in one call.
+pub fn encode_punctured(data: &[u8], rate: CodeRate) -> Vec<u8> {
+    puncture(&encode(data), rate)
+}
+
+/// Convenience: depuncture + Viterbi in one call. `received` holds one LLR
+/// per *transmitted* coded bit.
+pub fn decode_punctured(received: &[f64], rate: CodeRate, info_bits: usize) -> Vec<u8> {
+    let mother_len = 2 * (info_bits + TAIL_BITS);
+    let soft = depuncture(received, rate, mother_len);
+    viterbi_decode(&soft, info_bits)
+}
+
+/// Convert hard bits to strong LLRs (for loss-free test paths).
+pub fn bits_to_llrs(bits: &[u8]) -> Vec<f64> {
+    bits.iter().map(|&b| if b == 0 { 10.0 } else { -10.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witag_sim::Rng;
+
+    fn random_bits(rng: &mut Rng, n: usize) -> Vec<u8> {
+        (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    #[test]
+    fn encode_known_short_vector() {
+        // Hand-computed: input [1], state 0.
+        // reg = 0b0000001; g0=0b1011011 -> parity(0b0000001)=1;
+        // g1=0b1111001 -> parity(1)=1. Then 6 tail zeros from state 1.
+        let coded = encode(&[1]);
+        assert_eq!(coded.len(), 2 * (1 + TAIL_BITS));
+        assert_eq!(&coded[..2], &[1, 1]);
+    }
+
+    #[test]
+    fn encode_output_length() {
+        assert_eq!(encode(&[0; 100]).len(), 212);
+    }
+
+    #[test]
+    fn clean_roundtrip_all_rates() {
+        let mut rng = Rng::seed_from_u64(1);
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56] {
+            for len in [1usize, 2, 3, 5, 24, 100, 241] {
+                let data = random_bits(&mut rng, len);
+                let tx = encode_punctured(&data, rate);
+                assert_eq!(tx.len(), coded_len(len, rate), "len mismatch at {rate:?}/{len}");
+                let llrs = bits_to_llrs(&tx);
+                let decoded = decode_punctured(&llrs, rate, len);
+                assert_eq!(decoded, data, "roundtrip failed at {rate:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_hard_errors_at_rate_half() {
+        let mut rng = Rng::seed_from_u64(2);
+        let data = random_bits(&mut rng, 200);
+        let mut tx = encode_punctured(&data, CodeRate::R12);
+        // Flip ~4% of coded bits, well within the free-distance budget when
+        // scattered.
+        let n = tx.len();
+        for i in (0..n).step_by(25) {
+            tx[i] ^= 1;
+        }
+        let decoded = decode_punctured(&bits_to_llrs(&tx), CodeRate::R12, 200);
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn soft_erasures_decode_better_than_wrong_hard_bits() {
+        let mut rng = Rng::seed_from_u64(3);
+        let data = random_bits(&mut rng, 120);
+        let tx = encode_punctured(&data, CodeRate::R12);
+        // Erase (llr = 0) a contiguous run of 8 coded bits.
+        let mut llrs = bits_to_llrs(&tx);
+        for llr in llrs.iter_mut().skip(40).take(8) {
+            *llr = 0.0;
+        }
+        let decoded = decode_punctured(&llrs, CodeRate::R12, 120);
+        assert_eq!(decoded, data, "8-bit erasure burst must be recoverable");
+    }
+
+    #[test]
+    fn heavy_corruption_breaks_decoding() {
+        // Sanity check the *other* regime WiTAG relies on: enough channel
+        // damage defeats the code.
+        let mut rng = Rng::seed_from_u64(4);
+        let data = random_bits(&mut rng, 120);
+        let mut tx = encode_punctured(&data, CodeRate::R34);
+        for (i, b) in tx.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *b ^= (rng.next_u64() & 1) as u8;
+            }
+        }
+        let decoded = decode_punctured(&bits_to_llrs(&tx), CodeRate::R34, 120);
+        assert_ne!(decoded, data, "50% random flips on half the bits must break R3/4");
+    }
+
+    #[test]
+    fn punctured_rates_have_correct_lengths() {
+        // 96 info bits + 6 tail = 204 mother bits.
+        assert_eq!(coded_len(96, CodeRate::R12), 204);
+        assert_eq!(coded_len(96, CodeRate::R23), 153);
+        assert_eq!(coded_len(96, CodeRate::R34), 136);
+        // 5/6: 204 * (6/10) with pattern alignment.
+        let tx = encode_punctured(&[0u8; 96], CodeRate::R56);
+        assert_eq!(tx.len(), coded_len(96, CodeRate::R56));
+    }
+
+    #[test]
+    fn depuncture_restores_positions() {
+        let data = vec![1u8, 0, 1, 1, 0, 1, 0, 0, 1, 0];
+        let mother = encode(&data);
+        let tx = puncture(&mother, CodeRate::R34);
+        let soft = depuncture(&bits_to_llrs(&tx), CodeRate::R34, mother.len());
+        assert_eq!(soft.len(), mother.len());
+        // Surviving positions carry the coded bit's sign, erased carry 0.
+        let pattern = [true, true, true, false, false, true];
+        for (i, &s) in soft.iter().enumerate() {
+            if pattern[i % 6] {
+                let expect = if mother[i] == 0 { 10.0 } else { -10.0 };
+                assert_eq!(s, expect, "position {i}");
+            } else {
+                assert_eq!(s, 0.0, "position {i} should be erased");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn depuncture_rejects_short_stream() {
+        let _ = depuncture(&[1.0; 3], CodeRate::R12, 8);
+    }
+
+    #[test]
+    fn stream_roundtrip_without_termination() {
+        let mut rng = Rng::seed_from_u64(7);
+        for len in [8usize, 64, 402] {
+            let data = random_bits(&mut rng, len);
+            let tx = encode_stream(&data);
+            assert_eq!(tx.len(), 2 * len);
+            let decoded = viterbi_decode_stream(&bits_to_llrs(&tx), len);
+            assert_eq!(decoded, data, "stream roundtrip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn stream_decoder_tolerates_scattered_errors() {
+        let mut rng = Rng::seed_from_u64(8);
+        let data = random_bits(&mut rng, 300);
+        let mut tx = encode_stream(&data);
+        for i in (0..tx.len()).step_by(30) {
+            tx[i] ^= 1;
+        }
+        let decoded = viterbi_decode_stream(&bits_to_llrs(&tx), 300);
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn all_zero_input_encodes_to_zero() {
+        let coded = encode(&[0; 50]);
+        assert!(coded.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the PHY: the whole transmit chain and each
+//! component must satisfy roundtrip/bijection invariants for *arbitrary*
+//! inputs, not just the unit tests' examples.
+
+use proptest::prelude::*;
+use witag_phy::complex::{c64, Complex64};
+use witag_phy::convolutional::{
+    bits_to_llrs, decode_punctured, encode_punctured, encode_stream, viterbi_decode_stream,
+    CodeRate,
+};
+use witag_phy::interleaver::{deinterleave, interleave, InterleaverDims};
+use witag_phy::mcs::{Mcs, Modulation};
+use witag_phy::modulation::{demodulate_hard, modulate};
+use witag_phy::params::Bandwidth;
+use witag_phy::ppdu::{bits_to_bytes, bytes_to_bits, transmit, PhyConfig};
+use witag_phy::receiver::receive;
+use witag_phy::scrambler::Scrambler;
+
+fn bits(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=1, n)
+}
+
+fn any_rate() -> impl Strategy<Value = CodeRate> {
+    prop_oneof![
+        Just(CodeRate::R12),
+        Just(CodeRate::R23),
+        Just(CodeRate::R34),
+        Just(CodeRate::R56),
+    ]
+}
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+        Just(Modulation::Qam256),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scrambler_is_an_involution(data in bits(300), seed in 1u8..128) {
+        let mut once = data.clone();
+        Scrambler::new(seed).apply(&mut once);
+        let mut twice = once.clone();
+        Scrambler::new(seed).apply(&mut twice);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn convolutional_clean_roundtrip(data in bits(200), rate in any_rate()) {
+        let tx = encode_punctured(&data, rate);
+        let rx = decode_punctured(&bits_to_llrs(&tx), rate, data.len());
+        prop_assert_eq!(rx, data);
+    }
+
+    #[test]
+    fn stream_code_roundtrip(data in bits(150)) {
+        let tx = encode_stream(&data);
+        let rx = viterbi_decode_stream(&bits_to_llrs(&tx), data.len());
+        prop_assert_eq!(rx, data);
+    }
+
+    #[test]
+    fn viterbi_corrects_any_two_scattered_flips(
+        data in bits(120),
+        p1 in 0usize..100,
+        gap in 30usize..120,
+    ) {
+        // K=7 free distance 10: any two flips >= ~7 positions apart decode.
+        let mut tx = encode_punctured(&data, CodeRate::R12);
+        let n = tx.len();
+        let a = p1 % n;
+        let b = (p1 + gap) % n;
+        prop_assume!(a.abs_diff(b) > 14);
+        tx[a] ^= 1;
+        tx[b] ^= 1;
+        let rx = decode_punctured(&bits_to_llrs(&tx), CodeRate::R12, data.len());
+        prop_assert_eq!(rx, data);
+    }
+
+    #[test]
+    fn interleaver_bijective_for_all_ht_dims(
+        n_bpscs in prop_oneof![Just(1usize), Just(2), Just(4), Just(6), Just(8)],
+        bw in prop_oneof![Just(Bandwidth::Mhz20), Just(Bandwidth::Mhz40)],
+        seed in any::<u64>(),
+    ) {
+        let d = InterleaverDims::ht(bw, n_bpscs);
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..d.n_cbps).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let rx = deinterleave(&interleave(&data, d), d);
+        prop_assert_eq!(rx, data);
+    }
+
+    #[test]
+    fn modulation_hard_roundtrip(m in any_modulation(), seed in any::<u64>()) {
+        let bpsc = m.bits_per_subcarrier();
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..bpsc * 26).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let syms = modulate(&data, m);
+        prop_assert_eq!(demodulate_hard(&syms, m), data);
+    }
+
+    #[test]
+    fn constellation_points_bounded(m in any_modulation(), seed in any::<u64>()) {
+        let bpsc = m.bits_per_subcarrier();
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..bpsc * 8).map(|_| (rng.next_u64() & 1) as u8).collect();
+        for pt in modulate(&data, m) {
+            // Max |point| is the 256-QAM corner: |15+15j|/sqrt(170) ~ 1.63.
+            prop_assert!(pt.abs() < 1.65, "point {pt:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn bytes_bits_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn loopback_psdu_roundtrip_any_mcs(
+        mcs_idx in 0usize..8,
+        data in proptest::collection::vec(any::<u8>(), 30..200),
+    ) {
+        let config = PhyConfig::new(Mcs::ht(mcs_idx));
+        let ppdu = transmit(&config, &data);
+        let decoded = receive(&ppdu, 1e-6);
+        prop_assert_eq!(decoded.bytes, data);
+    }
+
+    #[test]
+    fn complex_field_axioms(re1 in -10.0f64..10.0, im1 in -10.0f64..10.0,
+                            re2 in -10.0f64..10.0, im2 in -10.0f64..10.0) {
+        let a = c64(re1, im1);
+        let b = c64(re2, im2);
+        // Commutativity and conjugate-multiplication identity.
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-12);
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
+        prop_assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-9);
+        prop_assert!((a * a.conj()).im.abs() < 1e-9);
+        // Division inverts multiplication away from zero.
+        if b.norm_sqr() > 1e-6 {
+            prop_assert!(((a * b / b) - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn airtime_monotone_in_psdu_len(mcs_idx in 0usize..8, len in 30usize..1000) {
+        let config = PhyConfig::new(Mcs::ht(mcs_idx));
+        prop_assert!(config.airtime(len) <= config.airtime(len + 100));
+        prop_assert!(config.n_symbols(len) >= 1);
+    }
+
+    #[test]
+    fn phase_flip_never_helps_llr_quality(seed in any::<u64>()) {
+        // Flipping the channel can only shrink or scramble LLRs vs the
+        // matched channel, never improve the mean |LLR| by a large factor.
+        let config = PhyConfig::new(Mcs::ht(7));
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let mut data = vec![0u8; 130];
+        rng.fill_bytes(&mut data);
+        let ppdu = transmit(&config, &data);
+        let mut flipped = ppdu.clone();
+        for sym in flipped.symbols.iter_mut() {
+            for pt in sym.streams[0].iter_mut() {
+                *pt = Complex64::ZERO - *pt;
+            }
+        }
+        let clean = receive(&ppdu, 1e-4);
+        let broken = receive(&flipped, 1e-4);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        prop_assert!(mean(&broken.symbol_quality) <= mean(&clean.symbol_quality) * 1.05);
+    }
+}

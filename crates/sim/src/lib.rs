@@ -1,0 +1,37 @@
+//! # witag-sim — deterministic simulation foundation
+//!
+//! Shared substrate for every other crate in the WiTAG reproduction:
+//!
+//! * [`time`] — nanosecond-resolution simulation clock and durations. All
+//!   802.11 timing (slot times, SIFS, symbol durations) is expressed in
+//!   integer nanoseconds so airtime arithmetic is exact and deterministic.
+//! * [`rng`] — a self-contained xoshiro256** PRNG with SplitMix64 seeding.
+//!   The whole simulation is reproducible from a single `u64` seed; no
+//!   external RNG crate is used on any simulation path.
+//! * [`event`] — a discrete-event queue with stable FIFO ordering among
+//!   simultaneous events.
+//! * [`stats`] — streaming statistics (Welford), sample sets with exact
+//!   percentiles, empirical CDFs, and histograms used by the experiment
+//!   harness and the benchmark binaries.
+//! * [`geom`] — 2-D geometry: points, segments, segment intersection,
+//!   attenuating obstacles (walls, cabinets, doors) and the floorplan of the
+//!   paper's testbed (Figure 4).
+//!
+//! Design follows the event-driven, allocation-conscious style of smoltcp:
+//! no async runtime, no interior mutability on hot paths, and exhaustive
+//! doc coverage of what is and is not modelled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod geom;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use geom::{Floorplan, Material, Obstacle, Point2, Segment};
+pub use rng::Rng;
+pub use stats::{wilson_interval_95, Cdf, Histogram, RunningStats, SampleSet};
+pub use time::{Duration, Instant};

@@ -1,0 +1,131 @@
+//! Property-based tests for the simulation foundation.
+
+use proptest::prelude::*;
+use witag_sim::geom::{Floorplan, Point2, Segment};
+use witag_sim::stats::{RunningStats, SampleSet};
+use witag_sim::time::{Duration, Instant};
+use witag_sim::{EventQueue, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rng_below_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(v, original);
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(
+        times in proptest::collection::vec(0u64..1_000_000, 1..128),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_nanos(t), i);
+        }
+        let mut last = Instant::ZERO;
+        let mut count = 0;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.at >= last);
+            last = e.at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn welford_mean_bounded_by_extremes(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        prop_assert!(s.mean() >= s.min().unwrap() - 1e-9);
+        prop_assert!(s.mean() <= s.max().unwrap() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut s = SampleSet::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let p25 = s.percentile(25.0).unwrap();
+        let p50 = s.percentile(50.0).unwrap();
+        let p90 = s.percentile(90.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p90);
+        // The interpolated p-quantile sits between ranks floor(p(n-1))
+        // and ceil(p(n-1)), so at least floor(p(n-1))+1 samples are <= it.
+        let n = xs.len();
+        let lower_rank = (0.9 * (n as f64 - 1.0)).floor() as usize + 1;
+        let cdf = s.cdf();
+        prop_assert!(cdf.at(p90) >= lower_rank as f64 / n as f64 - 1e-9);
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+        dx in -10.0f64..10.0, dy in -10.0f64..10.0,
+    ) {
+        let s1 = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+        let s2 = Segment::new(Point2::new(cx, cy), Point2::new(dx, dy));
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn penetration_loss_is_symmetric_and_nonnegative(
+        ax in 0.5f64..17.5, ay in 0.5f64..6.5,
+        bx in 0.5f64..17.5, by in 0.5f64..6.5,
+    ) {
+        let fp = Floorplan::paper_testbed();
+        let a = Point2::new(ax, ay);
+        let b = Point2::new(bx, by);
+        let ab = fp.penetration_loss_db(a, b);
+        let ba = fp.penetration_loss_db(b, a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn duration_arithmetic_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = Duration::nanos(a);
+        let db = Duration::nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        let t = Instant::from_nanos(a) + db;
+        prop_assert_eq!(t.since(Instant::from_nanos(a)), db);
+    }
+
+    #[test]
+    fn gaussian_pairs_not_correlated_with_seed_parity(seed in any::<u64>()) {
+        // Smoke property: consecutive gaussians from one stream are not
+        // identical (Box–Muller spare must not repeat).
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = rng.gaussian();
+        let b = rng.gaussian();
+        let c = rng.gaussian();
+        prop_assert!(a != b || b != c);
+    }
+}

@@ -1,0 +1,33 @@
+//! # witag-tag — the backscatter tag device model
+//!
+//! Everything on the tag's side of the air interface:
+//!
+//! * [`oscillator`] — crystal vs ring-oscillator clock models with the
+//!   paper's §7 power law (P ∝ f²) and temperature-drift behaviour
+//!   (600 kHz per 5 °C at 20 MHz for rings, footnote 4),
+//! * [`envelope`] — the envelope-detector + comparator front end over a
+//!   piecewise-constant energy trace of the medium,
+//! * [`trigger`] — duration-coded query detection in clock ticks (the
+//!   reproduction's concrete realisation of the paper's §7 trigger
+//!   sketch; see DESIGN.md for why amplitude patterning does not survive
+//!   the scrambler and what replaces it),
+//! * [`device`] — the tag state machine: trigger → phase-aligned tick
+//!   counter → per-subframe switch schedule, with clock drift faithfully
+//!   smearing the schedule,
+//! * [`power`] — the power budget and energy-harvesting feasibility
+//!   numbers behind the battery-free claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod envelope;
+pub mod oscillator;
+pub mod power;
+pub mod trigger;
+
+pub use device::{BitEncoding, PlannedModulation, QueryProfile, Tag, TagConfig};
+pub use envelope::{EnergyTrace, EnvelopeDetector};
+pub use oscillator::Oscillator;
+pub use power::{rf_harvest_uw, EnergyBank, PowerBudget};
+pub use trigger::{TriggerMatcher, TriggerSignature};

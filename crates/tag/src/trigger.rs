@@ -1,0 +1,201 @@
+//! Query detection: duration-signature matching.
+//!
+//! The tag must tell query packets apart from everything else on the air
+//! (paper §7, "Query Packet Detection") using only the envelope
+//! detector's busy/idle edges and a slow clock. The paper sketches
+//! trigger *subframes* with amplitude patterns; with scrambling and
+//! coding, per-symbol amplitude patterning does not survive the PHY (the
+//! scrambler whitens payload bits by design), so this reproduction
+//! implements the same function with the same hardware via **duration
+//! coding**: the querier precedes each query A-MPDU with a short sequence
+//! of marker frames whose *lengths* form a signature (e.g. 200 µs, 100 µs,
+//! 200 µs separated by SIFS). Frame lengths are fully under any
+//! standards-compliant sender's control, the tag measures them in clock
+//! ticks, and false triggers require foreign traffic to reproduce the
+//! whole length pattern within tolerance. DESIGN.md documents this
+//! substitution.
+
+use crate::oscillator::Oscillator;
+use witag_sim::time::{Duration, Instant};
+
+/// A duration-coded trigger signature.
+#[derive(Debug, Clone)]
+pub struct TriggerSignature {
+    /// Nominal marker burst durations, in order.
+    pub bursts: Vec<Duration>,
+    /// Match tolerance in clock ticks.
+    pub tolerance_ticks: u64,
+}
+
+impl TriggerSignature {
+    /// The default three-marker signature: 200 µs, 100 µs, 200 µs.
+    pub fn default_markers() -> Self {
+        TriggerSignature {
+            bursts: vec![
+                Duration::micros(200),
+                Duration::micros(100),
+                Duration::micros(200),
+            ],
+            tolerance_ticks: 1,
+        }
+    }
+}
+
+/// Matches burst-duration sequences against a signature, measuring with a
+/// (possibly drifted) tag clock.
+#[derive(Debug, Clone)]
+pub struct TriggerMatcher {
+    signature: TriggerSignature,
+    /// Expected burst lengths in ticks (computed with the *nominal* clock —
+    /// what the tag was configured with at manufacture).
+    expected_ticks: Vec<u64>,
+    /// Actual tick period (s), including temperature-induced drift — what
+    /// the clock really does in the field.
+    actual_tick_s: f64,
+}
+
+impl TriggerMatcher {
+    /// Build a matcher for a signature, clock model and temperature
+    /// offset.
+    pub fn new(signature: TriggerSignature, osc: Oscillator, delta_t_celsius: f64) -> Self {
+        let nominal_tick = osc.period_s();
+        let expected_ticks = signature
+            .bursts
+            .iter()
+            .map(|d| (d.as_secs_f64() / nominal_tick).round() as u64)
+            .collect();
+        let actual_tick_s = 1.0 / osc.effective_hz(delta_t_celsius);
+        TriggerMatcher {
+            signature,
+            expected_ticks,
+            actual_tick_s,
+        }
+    }
+
+    /// Measure a duration in (drifted) clock ticks.
+    pub fn measure_ticks(&self, d: Duration) -> u64 {
+        (d.as_secs_f64() / self.actual_tick_s).round() as u64
+    }
+
+    /// Scan a burst list (from
+    /// [`EnvelopeDetector::burst_durations`](crate::envelope::EnvelopeDetector::burst_durations)) for
+    /// the signature. Returns the index of the **last** marker burst of
+    /// the first match.
+    pub fn find(&self, bursts: &[(Instant, Duration)]) -> Option<usize> {
+        let n = self.expected_ticks.len();
+        if bursts.len() < n {
+            return None;
+        }
+        'outer: for start in 0..=bursts.len() - n {
+            for (i, &expect) in self.expected_ticks.iter().enumerate() {
+                let measured = self.measure_ticks(bursts[start + i].1);
+                if measured.abs_diff(expect) > self.signature.tolerance_ticks {
+                    continue 'outer;
+                }
+            }
+            return Some(start + n - 1);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{EnergyTrace, EnvelopeDetector};
+
+    fn us(n: u64) -> Instant {
+        Instant::from_micros(n)
+    }
+
+    fn marker_trace(durations: &[u64], gap_us: u64) -> EnergyTrace {
+        let mut t = EnergyTrace::new();
+        let mut now = 50u64;
+        for &d in durations {
+            t.push(us(now), us(now + d), -20.0);
+            now += d + gap_us;
+        }
+        t
+    }
+
+    fn matcher(delta_t: f64) -> TriggerMatcher {
+        TriggerMatcher::new(
+            TriggerSignature::default_markers(),
+            Oscillator::witag_crystal(),
+            delta_t,
+        )
+    }
+
+    #[test]
+    fn exact_signature_matches() {
+        let trace = marker_trace(&[200, 100, 200], 16);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(matcher(0.0).find(&bursts), Some(2));
+    }
+
+    #[test]
+    fn signature_after_foreign_traffic_matches() {
+        let trace = marker_trace(&[340, 1000, 200, 100, 200], 16);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(matcher(0.0).find(&bursts), Some(4));
+    }
+
+    #[test]
+    fn wrong_durations_do_not_match() {
+        let trace = marker_trace(&[240, 100, 200], 16);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(matcher(0.0).find(&bursts), None);
+    }
+
+    #[test]
+    fn random_traffic_does_not_false_trigger() {
+        // Durations that never form 10/5/10 ticks.
+        let trace = marker_trace(&[333, 87, 512, 61, 149, 482], 30);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(matcher(0.0).find(&bursts), None);
+    }
+
+    #[test]
+    fn crystal_tolerates_temperature() {
+        // ±25 °C on a crystal: sub-ppm error, still matches.
+        let trace = marker_trace(&[200, 100, 200], 16);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(matcher(25.0).find(&bursts), Some(2));
+        assert_eq!(matcher(-25.0).find(&bursts), Some(2));
+    }
+
+    #[test]
+    fn hot_ring_oscillator_misses_trigger() {
+        // A ring-oscillator tag 30 °C off calibration mis-measures the
+        // markers (18 % fast) and fails to match — the paper's footnote 4
+        // failure mode, reproduced.
+        let m = TriggerMatcher::new(
+            TriggerSignature {
+                bursts: vec![
+                    Duration::micros(200),
+                    Duration::micros(100),
+                    Duration::micros(200),
+                ],
+                tolerance_ticks: 40, // even a generous tolerance (0.5%) fails
+            },
+            Oscillator::shifting_ring(),
+            30.0,
+        );
+        let trace = marker_trace(&[200, 100, 200], 16);
+        let bursts = EnvelopeDetector::default().burst_durations(&trace);
+        assert_eq!(m.find(&bursts), None);
+    }
+
+    #[test]
+    fn tick_measurement_uses_drifted_clock() {
+        let m = TriggerMatcher::new(
+            TriggerSignature::default_markers(),
+            Oscillator::shifting_ring(),
+            10.0, // +6 %
+        );
+        // 100 µs at 20 MHz nominal = 2000 ticks; at +6 % the clock runs
+        // fast and counts ~2120.
+        let ticks = m.measure_ticks(Duration::micros(100));
+        assert!((2110..=2130).contains(&ticks), "got {ticks}");
+    }
+}

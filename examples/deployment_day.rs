@@ -1,0 +1,108 @@
+//! A day in the deployment: everything composed.
+//!
+//! Three battery-free sensors (distinct trigger signatures, tiny harvest
+//! capacitors) in a busy office WiFi network (foreign traffic, WPA2),
+//! polled by one client through one stock AP. Readings travel over the
+//! reliable `tagnet` transport. This is the system the paper's
+//! introduction promises, end to end, with every imperfection the
+//! reproduction models turned on.
+//!
+//! ```text
+//! cargo run --release --example deployment_day
+//! ```
+
+use witag::experiment::{CrossTraffic, Experiment, ExperimentConfig, SecurityMode};
+use witag::tagnet::deliver;
+use witag_sim::geom::Point2;
+use witag_sim::time::Duration;
+use witag_tag::trigger::TriggerSignature;
+
+struct Sensor {
+    name: &'static str,
+    position: Point2,
+    marker_us: u64,
+    report: &'static str,
+}
+
+fn main() {
+    println!("deployment day: 3 battery-free sensors, WPA2 network, busy office\n");
+
+    let sensors = [
+        Sensor {
+            name: "hvac-duct",
+            position: Point2::new(7.5, 3.2),
+            marker_us: 40,
+            report: "t=19.5C f=ok",
+        },
+        Sensor {
+            name: "window-3",
+            position: Point2::new(5.2, 3.9),
+            marker_us: 56,
+            report: "closed",
+        },
+        Sensor {
+            name: "soil-planter",
+            position: Point2::new(2.8, 3.1),
+            marker_us: 72,
+            report: "moist=41%",
+        },
+    ];
+
+    let mut total_queries = 0usize;
+    let mut total_time = 0.0f64;
+
+    for s in &sensors {
+        // A realistic, hostile-ish environment: WPA2 network, ambient
+        // interference on, a moderately busy office around it, and a
+        // battery-free tag with a small storage capacitor.
+        let mut cfg = ExperimentConfig::fig5(1.0, 0xDA7);
+        cfg.tag = s.position;
+        cfg.security = SecurityMode::Wpa2;
+        cfg.cross_traffic = Some(CrossTraffic {
+            frames_per_s: 200.0,
+            mean_airtime: Duration::micros(800),
+        });
+        cfg.energy_capacity_uj = Some(5.0);
+        cfg.signature_override = Some(TriggerSignature {
+            bursts: vec![
+                Duration::micros(80),
+                Duration::micros(s.marker_us),
+                Duration::micros(80),
+            ],
+            tolerance_ticks: 1,
+        });
+        let mut exp = Experiment::new(cfg).expect("office link viable");
+        let n_bits = exp.design.bits_per_query();
+
+        let mut elapsed = 0.0f64;
+        let outcome = deliver(s.report.as_bytes(), n_bits, 400, |tx| {
+            let r = exp.run_round(tx);
+            elapsed += r.airtime.as_secs_f64();
+            r.readout.bits
+        });
+        match outcome {
+            Some((got, queries)) => {
+                println!(
+                    "{:<14} -> {:<14} ({} queries, {:.0} ms on air, {} energy skips, 0 decrypt fails: {})",
+                    s.name,
+                    format!("{:?}", String::from_utf8_lossy(&got)),
+                    queries,
+                    elapsed * 1e3,
+                    exp.energy_skips,
+                    exp.decrypt_failures == 0,
+                );
+                assert_eq!(got, s.report.as_bytes(), "transport integrity");
+                total_queries += queries;
+                total_time += elapsed;
+            }
+            None => println!("{:<14} -> FAILED to deliver within budget", s.name),
+        }
+    }
+
+    println!(
+        "\nfleet summary: {} queries, {:.0} ms of airtime, all reports intact.",
+        total_queries,
+        total_time * 1e3
+    );
+    println!("The AP never knew. The network never changed. No batteries involved.");
+}

@@ -1,0 +1,12 @@
+//! Workspace root crate: re-exports the public API of every WiTAG crate so
+//! that examples and cross-crate integration tests have a single import
+//! surface. Downstream users should depend on the individual crates.
+
+pub use witag;
+pub use witag_baselines as baselines;
+pub use witag_channel as channel;
+pub use witag_crypto as crypto;
+pub use witag_mac as mac;
+pub use witag_phy as phy;
+pub use witag_sim as sim;
+pub use witag_tag as tag;
