@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, test, lint — one reproducible command.
+# Works fully offline (proptest/criterion are path-dep shims under crates/).
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -14,6 +14,7 @@
 //! | `encryption` | §4 — open/WEP/WPA2 operation + HitchHike contrast |
 //! | `interference` | §2/§8 — secondary-channel victim losses |
 //! | `fec` | §4.1 future work — Hamming-coded tag channel |
+//! | `fault_sweep` | §4.1 future work — session vs stop-and-wait under injected faults |
 //!
 //! Run any of them with `cargo run --release -p witag-bench --bin <name>`.
 //! Round counts are scaled by the `WITAG_ROUNDS` environment variable

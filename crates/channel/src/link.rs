@@ -175,6 +175,9 @@ pub struct Link {
     tag_incident_amplitude: f64,
     /// Complex noise variance per subcarrier relative to unit TX power.
     noise_var: f64,
+    /// Coherence-time divisor (fault injection: coherence collapse).
+    /// 1.0 = the configured coherence time; larger = faster fading.
+    coherence_scale: f64,
     rng: Rng,
 }
 
@@ -291,8 +294,17 @@ impl Link {
             tag_distances,
             tag_incident_amplitude,
             noise_var,
+            coherence_scale: 1.0,
             rng,
         }
+    }
+
+    /// Divide the effective coherence time by `scale` (fault injection:
+    /// a coherence collapse — doors slamming, machinery moving through
+    /// the Fresnel zone). `1.0` restores the configured dynamics; the
+    /// nominal path is bit-identical to a link without the hook.
+    pub fn set_coherence_scale(&mut self, scale: f64) {
+        self.coherence_scale = scale.max(1e-9);
     }
 
     /// The channel's complex response at arbitrary baseband frequencies
@@ -411,7 +423,8 @@ impl Link {
     pub fn advance(&mut self, dt: Duration) {
         let sigma = core::f64::consts::TAU
             * (dt.as_secs_f64() / self.cfg.coherence_time_s).sqrt()
-            * 0.5;
+            * 0.5
+            * self.coherence_scale.sqrt();
         for ray in &mut self.env {
             let dphi = self.rng.normal(0.0, sigma);
             ray.amplitude *= Complex64::from_polar(1.0, dphi);
@@ -714,6 +727,37 @@ mod tests {
         let mid = delta_at(0.5);
         let far = delta_at(0.875); // 1 m from AP
         assert!(near > mid && far > mid, "U-shape: {near} / {mid} / {far}");
+    }
+
+    #[test]
+    fn coherence_scale_accelerates_decorrelation_and_is_inert_at_one() {
+        let layout = SubcarrierLayout::new(witag_phy::params::Bandwidth::Mhz20);
+        let mut nominal = los_link(None, quiet_cfg(), 7);
+        let mut collapsed = los_link(None, quiet_cfg(), 7);
+        collapsed.set_coherence_scale(100.0);
+        let h0 = nominal.response(TagMode::Absent, &layout);
+        nominal.advance(Duration::millis(5));
+        collapsed.advance(Duration::millis(5));
+        let dist = |h: &[Complex64]| -> f64 {
+            h0.iter().zip(h).map(|(a, b)| (*a - *b).abs()).sum::<f64>() / h0.len() as f64
+        };
+        let dn = dist(&nominal.response(TagMode::Absent, &layout));
+        let dc = dist(&collapsed.response(TagMode::Absent, &layout));
+        assert!(
+            dc > dn * 3.0,
+            "100× collapse must fade much faster: {dc} vs {dn}"
+        );
+
+        // Scale 1.0 must be bit-identical to an untouched link.
+        let mut a = los_link(None, quiet_cfg(), 9);
+        let mut b = los_link(None, quiet_cfg(), 9);
+        b.set_coherence_scale(1.0);
+        a.advance(Duration::millis(3));
+        b.advance(Duration::millis(3));
+        assert_eq!(
+            a.response(TagMode::Absent, &layout),
+            b.response(TagMode::Absent, &layout)
+        );
     }
 
     #[test]

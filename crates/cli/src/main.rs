@@ -8,6 +8,8 @@
 //! witag sweep  [--from 1] [--to 7] [--step 1] [--rounds 100]
 //! witag design [--distance 1.0] [--clock-khz 250] [--subframes 64]
 //! witag send   --message "text" [--distance 2] [--max-queries 400]
+//! witag faults [--message "text"] [--intensity 1.0] [--distance 1]
+//!              [--seed 42] [--plan-seed 7] [--budget 3000]
 //! witag floorplan
 //! ```
 //!
@@ -18,7 +20,8 @@ mod args;
 use args::{ArgError, Args};
 use witag::experiment::{Experiment, ExperimentConfig, SecurityMode};
 use witag::query::QueryDesign;
-use witag::tagnet::deliver;
+use witag::tagnet::{deliver, session_over_experiment, SessionConfig, SessionOutcome};
+use witag_faults::FaultPlan;
 use witag_channel::{Link, LinkConfig};
 use witag_sim::geom::Floorplan;
 use witag_tag::device::BitEncoding;
@@ -41,6 +44,7 @@ fn main() {
         "sweep" => cmd_sweep(&parsed),
         "design" => cmd_design(&parsed),
         "send" => cmd_send(&parsed),
+        "faults" => cmd_faults(&parsed),
         "floorplan" => cmd_floorplan(&parsed),
         "help" | "--help" | "-h" => {
             usage();
@@ -71,6 +75,7 @@ fn usage() {
          \x20 sweep      Figure-5 style distance sweep\n\
          \x20 design     show the query design for a link\n\
          \x20 send       deliver a message via the reliable transport\n\
+         \x20 faults     run the resilient session under injected faults\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
          run `witag <cmd> --help` semantics: all options have defaults;\n\
          see crates/cli/src/main.rs for the full list."
@@ -206,7 +211,7 @@ fn cmd_design(a: &Args) -> Result<(), ArgError> {
     let link = Link::new(&fp, client, ap, Some(tag), LinkConfig::default(), 1);
     let clock = Oscillator::Crystal { freq_hz: khz * 1e3 };
     match QueryDesign::best(&link, &clock, subframes, 2) {
-        Some(d) => {
+        Ok(d) => {
             println!("link SNR:         {:.1} dB", link.snr_db());
             println!(
                 "query MCS:        {:?} {:?} ({} MHz)",
@@ -230,8 +235,8 @@ fn cmd_design(a: &Args) -> Result<(), ArgError> {
                 d.bits_per_query() as f64 / d.round_airtime_estimate().as_secs_f64() / 1e3
             );
         }
-        None => {
-            eprintln!("no feasible corruptible design at this SNR");
+        Err(e) => {
+            eprintln!("no feasible corruptible design: {e}");
             std::process::exit(1);
         }
     }
@@ -260,6 +265,65 @@ fn cmd_send(a: &Args) -> Result<(), ArgError> {
         }
         None => {
             eprintln!("gave up after {max_queries} queries");
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_faults(a: &Args) -> Result<(), ArgError> {
+    let message = a.str_or("message", "sensor frame 0042: 21.5C 40%RH ok").to_string();
+    let distance = a.f64_or("distance", 1.0)?;
+    let seed = a.u64_or("seed", 42)?;
+    let plan_seed = a.u64_or("plan-seed", 7)?;
+    let intensity = a.f64_or("intensity", 1.0)?;
+    let budget = a.usize_or("budget", 3000)?;
+    a.reject_unknown()?;
+    let mut exp =
+        Experiment::new(ExperimentConfig::fig5(distance, seed)).expect("scenario viable");
+    exp.attach_faults(FaultPlan::hostile_scaled(plan_seed, intensity));
+    let cfg = SessionConfig {
+        max_rounds: budget,
+        ..SessionConfig::default()
+    };
+    let report = match session_over_experiment(&mut exp, message.as_bytes(), &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("session setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let s = &report.stats;
+    println!(
+        "fault plan: hostile x{intensity:.2}, seed {plan_seed}; budget {budget} rounds"
+    );
+    if let Some(c) = exp.fault_counters() {
+        println!(
+            "injected:   {} lost queries, {} lost block ACKs, {} burst / {} drift / {} brownout rounds",
+            c.queries_lost, c.block_acks_lost, c.burst_rounds, c.drift_rounds, c.brownout_rounds
+        );
+    }
+    println!(
+        "session:    {} rounds ({} idle), {} retransmissions, {} resyncs, {} desync events",
+        s.rounds, s.idle_rounds, s.retransmissions, s.resyncs, s.desync_events
+    );
+    println!(
+        "            goodput {:.3} ({} payload bits over {} raw)",
+        s.goodput_ratio(),
+        s.payload_bits,
+        s.raw_bits
+    );
+    match report.outcome {
+        SessionOutcome::Delivered(bytes) => {
+            println!(
+                "delivered:  {} bytes: {:?}",
+                bytes.len(),
+                String::from_utf8_lossy(&bytes)
+            );
+            assert_eq!(bytes, message.as_bytes(), "transport integrity");
+        }
+        SessionOutcome::Failed(f) => {
+            eprintln!("failed: {f:?} — the plan won this time");
             std::process::exit(1);
         }
     }

@@ -30,6 +30,7 @@ use crate::query::{BuiltQuery, DesignSpace, QueryDesign};
 use crate::reader::{read_tag_bits, BitErrors, TagReadout};
 use witag_channel::{Link, LinkConfig, TagSchedule};
 use witag_crypto::{CcmpKey, WepKey};
+use witag_faults::{FaultCounters, FaultInjector, FaultPlan, RoundFaults};
 use witag_mac::access::Contention;
 use witag_mac::header::Addr;
 use witag_mac::{deaggregate, BlockAck, Security};
@@ -206,12 +207,40 @@ impl ExperimentConfig {
     }
 }
 
-/// Why an experiment could not be constructed.
+/// Why an experiment (or a query design) could not be constructed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExperimentError {
     /// No feasible query design: the client→AP link cannot carry a dense-
     /// constellation A-MPDU reliably.
     LinkTooPoor,
+    /// The requested subframe count is outside the block-ACK bitmap's
+    /// 1..=64 range.
+    SubframeCountOutOfRange {
+        /// The offending count.
+        n: usize,
+    },
+    /// More guard subframes than subframes: the query would carry no
+    /// data bits.
+    GuardExceedsSubframes {
+        /// Requested guard subframes.
+        guard: usize,
+        /// Requested total subframes.
+        n: usize,
+    },
+    /// The designed subframe payload cannot absorb the security
+    /// overhead (CCMP adds 16 bytes, WEP adds 7).
+    SubframeTooSmallForSecurity {
+        /// Designed payload bytes per subframe.
+        payload: usize,
+        /// Bytes the security mode adds.
+        overhead: usize,
+    },
+    /// A trigger-signature marker is too short to realise as a legacy
+    /// frame.
+    MarkerTooShort {
+        /// The offending burst duration.
+        burst: witag_sim::time::Duration,
+    },
 }
 
 impl core::fmt::Display for ExperimentError {
@@ -219,6 +248,21 @@ impl core::fmt::Display for ExperimentError {
         match self {
             ExperimentError::LinkTooPoor => {
                 write!(f, "link SNR too low for any corruptible query design")
+            }
+            ExperimentError::SubframeCountOutOfRange { n } => {
+                write!(f, "{n} subframes outside the block-ACK bitmap range 1..=64")
+            }
+            ExperimentError::GuardExceedsSubframes { guard, n } => {
+                write!(f, "{guard} guard subframes leave no data in {n} subframes")
+            }
+            ExperimentError::SubframeTooSmallForSecurity { payload, overhead } => {
+                write!(
+                    f,
+                    "subframe payload of {payload} B cannot absorb {overhead} B of security overhead"
+                )
+            }
+            ExperimentError::MarkerTooShort { burst } => {
+                write!(f, "marker burst of {burst} is shorter than a legacy frame")
             }
         }
     }
@@ -303,6 +347,10 @@ pub struct Experiment {
     /// (reciprocal geometry, independent noise).
     reverse_link: Link,
     built: BuiltQuery,
+    /// Deterministic fault injection, when a plan is attached. `None`
+    /// takes zero extra random draws: results are bit-identical to a
+    /// build without the hook.
+    faults: Option<FaultInjector>,
 }
 
 impl Experiment {
@@ -338,8 +386,7 @@ impl Experiment {
             cfg.n_subframes,
             cfg.guard_subframes,
             cfg.design_space,
-        )
-        .ok_or(ExperimentError::LinkTooPoor)?;
+        )?;
         if let Some(sig) = &cfg.signature_override {
             design.signature = sig.clone();
         }
@@ -351,7 +398,7 @@ impl Experiment {
             encoding: cfg.encoding,
         });
         let (mut tx_sec, rx_sec) = cfg.security.build();
-        let built = design.build_query(Addr::local(1), Addr::local(2), &mut tx_sec, 0);
+        let built = design.build_query(Addr::local(1), Addr::local(2), &mut tx_sec, 0)?;
         let energy = cfg.energy_capacity_uj.map(|cap| {
             // Harvest income: the querier's own transmissions dominate
             // (markers + A-MPDU occupy most of the busy time near the
@@ -375,6 +422,7 @@ impl Experiment {
             energy,
             reverse_link,
             built,
+            faults: None,
         })
     }
 
@@ -383,11 +431,60 @@ impl Experiment {
         self.link.snr_db()
     }
 
+    /// Attach a deterministic fault plan; replaces any previous plan and
+    /// restarts its schedule. Experiments without a plan draw nothing
+    /// from the fault path — results stay bit-identical to a build
+    /// without fault injection (see `tests/fault_session.rs`).
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Per-fault-class counts so far, if a plan is attached.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(|f| f.counters())
+    }
+
+    /// One trace byte per round (fault-class bitmask), if a plan is
+    /// attached. Equal seeds produce equal traces.
+    pub fn fault_trace(&self) -> Option<&[u8]> {
+        self.faults.as_ref().map(|f| f.trace())
+    }
+
+    /// Let one round's worth of airtime pass without transmitting (a
+    /// resilient session backing off from a fault burst). Fault models
+    /// keep evolving, links keep fading and the tag's harvester keeps
+    /// charging — but no query is sent and no bits move.
+    pub fn run_idle(&mut self) -> Duration {
+        if let Some(inj) = self.faults.as_mut() {
+            let _ = inj.begin_round();
+        }
+        let dt = self.design.round_airtime_estimate();
+        self.now += dt;
+        if let Some(bank) = &mut self.energy {
+            bank.charge(dt.as_secs_f64());
+        }
+        self.link.advance(dt);
+        self.reverse_link.advance(dt);
+        dt
+    }
+
     /// Run one query round with the given tag bits (length must be
     /// `design.bits_per_query()`; shorter is padded with 1s by the tag).
     pub fn run_round(&mut self, bits: &[u8]) -> RoundResult {
         let design = self.design.clone();
         let profile = design.tag_profile();
+
+        // -- 0. Fault verdict for this round. ---------------------------
+        let rf = match self.faults.as_mut() {
+            Some(inj) => inj.begin_round(),
+            None => RoundFaults::inert(),
+        };
+        // Persistent fault state (oscillator drift, coherence collapse):
+        // both setters are exact no-ops at their nominal values, keeping
+        // the unfaulted path bit-identical.
+        self.tag.set_clock_fault(rf.clock_error);
+        self.link.set_coherence_scale(rf.coherence_scale);
+        self.reverse_link.set_coherence_scale(rf.coherence_scale);
 
         // -- 1. Contention (deferring to foreign traffic), markers. -----
         let mut contention = timing::DIFS + self.contention.draw_backoff(&mut self.rng);
@@ -443,20 +540,19 @@ impl Experiment {
         // -- 2. Build (or reuse) the query and let the tag plan. --------
         // Rebuild the query each round so sequence numbers and CCMP PNs
         // advance like a real sender's.
-        self.built = design.build_query(
-            Addr::local(1),
-            Addr::local(2),
-            &mut self.tx_sec,
-            self.seq,
-        );
+        self.built = design
+            .build_query(Addr::local(1), Addr::local(2), &mut self.tx_sec, self.seq)
+            .expect("query geometry was validated at construction");
         let ppdu_airtime = self.built.ppdu.airtime();
         trace.push(ppdu_start, ppdu_start + ppdu_airtime, incident);
 
         self.tag.push_bits(bits);
         let reference = self.cfg.encoding.reference();
         // Battery-free gating: answering costs the full budget for the
-        // round's active span (trigger match through the A-MPDU).
-        let can_afford = match &mut self.energy {
+        // round's active span (trigger match through the A-MPDU). A
+        // fault-injected brownout means the rail is down outright.
+        let can_afford = !rf.brownout
+            && match &mut self.energy {
             Some(bank) => {
                 let active_s = (design.marker_airtime()
                     + design.marker_gap
@@ -489,51 +585,85 @@ impl Experiment {
         };
 
         // -- 3. Channel + 4. standard AP receive chain. ------------------
-        let rx = self.link.apply_ppdu(&self.built.ppdu, &schedule);
-        let decoded = receive(&rx, self.link.noise_var());
-        let outcomes = deaggregate(&decoded.bytes);
+        // `ba_for_readout` is what the client's reader sees (`None` ⇒ it
+        // saw nothing at all); `ba_lost` marks the round's bits as
+        // undelivered. A fault-injected query loss kills the A-MPDU
+        // before the AP — the tag already modulated (bits consumed,
+        // energy spent) but there is nothing to acknowledge, so the
+        // whole receive chain is skipped.
+        let (ba_for_readout, ba_lost) = if rf.query_lost {
+            (None, true)
+        } else {
+            let rx = self.link.apply_ppdu(&self.built.ppdu, &schedule);
+            let decoded = receive(&rx, self.link.noise_var());
+            let outcomes = deaggregate(&decoded.bytes);
 
-        // Exercise the security path on surviving MPDUs: FCS-valid frames
-        // must always decrypt (WiTAG never mutates surviving frames).
-        for o in &outcomes {
-            if let Some(mpdu) = &o.mpdu {
-                if self
-                    .rx_sec
-                    .decrypt(&mpdu.header, &mpdu.payload)
-                    .is_err()
-                {
-                    self.decrypt_failures += 1;
+            // Exercise the security path on surviving MPDUs: FCS-valid
+            // frames must always decrypt (WiTAG never mutates surviving
+            // frames).
+            for o in &outcomes {
+                if let Some(mpdu) = &o.mpdu {
+                    if self
+                        .rx_sec
+                        .decrypt(&mpdu.header, &mpdu.payload)
+                        .is_err()
+                    {
+                        self.decrypt_failures += 1;
+                    }
+                }
+            }
+
+            let ba = BlockAck::from_outcomes(
+                Addr::local(1),
+                Addr::local(2),
+                0,
+                self.seq,
+                &outcomes,
+            );
+
+            // -- 5. Block ACK back through the *real* reverse channel. ---
+            // The AP serialises the BA, transmits it at the 24 Mbps basic
+            // rate, and the client decodes it with the standard legacy
+            // chain. The tag sits in its reference state (its schedule
+            // ended with the A-MPDU), so it is just another static
+            // reflector here. A fault-injected BA loss drops the return
+            // frame outright instead.
+            if rf.ba_lost {
+                (None, true)
+            } else if self.cfg.model_ba_loss {
+                let tx = witag_phy::legacy::legacy_transmit(LegacyRate::M24, &ba.to_bytes());
+                let rx = self.reverse_link.apply_legacy(&tx, reference);
+                let bytes =
+                    witag_phy::legacy::legacy_receive(&rx, self.reverse_link.noise_var());
+                match BlockAck::from_bytes(&bytes) {
+                    Some(rx_ba) => (Some(rx_ba), false),
+                    // Natural decode failure: score against the true BA
+                    // (the readout content is unused by the accounting).
+                    None => (Some(ba), true),
+                }
+            } else {
+                (Some(ba), false)
+            }
+        };
+        let mut readout = match ba_for_readout {
+            Some(ba) => read_tag_bits(&ba, design.n_subframes, design.guard_subframes),
+            // The client saw no BA at all: an empty bitmap reads as
+            // "all delivered" (all 1s) — no information.
+            None => TagReadout {
+                bits: vec![1u8; design.bits_per_query()],
+                damaged_guards: 0,
+            },
+        };
+        // Burst interference flips readout bits after the fact, from the
+        // injector's private stream; errors are scored on what the
+        // client actually saw.
+        if !ba_lost {
+            if let Some(p) = rf.readout_flip {
+                if let Some(inj) = self.faults.as_mut() {
+                    inj.corrupt_readout(&mut readout.bits, p);
                 }
             }
         }
-
-        let ba = BlockAck::from_outcomes(
-            Addr::local(1),
-            Addr::local(2),
-            0,
-            self.seq,
-            &outcomes,
-        );
-
-        // -- 5. Block ACK back through the *real* reverse channel. -------
-        // The AP serialises the BA, transmits it at the 24 Mbps basic
-        // rate, and the client decodes it with the standard legacy chain.
-        // The tag sits in its reference state (its schedule ended with
-        // the A-MPDU), so it is just another static reflector here.
-        let ba_rx = if self.cfg.model_ba_loss {
-            let tx = witag_phy::legacy::legacy_transmit(LegacyRate::M24, &ba.to_bytes());
-            let rx = self.reverse_link.apply_legacy(&tx, reference);
-            let bytes = witag_phy::legacy::legacy_receive(&rx, self.reverse_link.noise_var());
-            BlockAck::from_bytes(&bytes)
-        } else {
-            Some(ba)
-        };
-        let ba_lost = ba_rx.is_none();
-        let readout = read_tag_bits(
-            &ba_rx.unwrap_or(ba),
-            design.n_subframes,
-            design.guard_subframes,
-        );
         let errors = if ba_lost {
             // Nothing was read; every sent bit is undelivered.
             BitErrors {
@@ -787,6 +917,71 @@ mod tests {
                 stats.ber()
             );
         }
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_bit_identical_to_no_plan() {
+        // The zero-cost contract: attaching an all-disabled plan must
+        // not perturb a single random draw or result.
+        let mut a = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 21))).unwrap();
+        let mut b = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 21))).unwrap();
+        b.attach_faults(FaultPlan::quiet(99));
+        let sa = a.run(12);
+        let sb = b.run(12);
+        assert_eq!(sa.errors, sb.errors);
+        assert_eq!(sa.elapsed, sb.elapsed);
+        assert_eq!(sa.missed_triggers, sb.missed_triggers);
+        assert_eq!(sa.lost_block_acks, sb.lost_block_acks);
+        assert!(b.fault_trace().unwrap().iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn hostile_plan_surfaces_every_fault_class() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 22))).unwrap();
+        exp.attach_faults(FaultPlan::hostile(7));
+        let stats = exp.run(160);
+        let c = *exp.fault_counters().unwrap();
+        assert_eq!(c.rounds, 160);
+        assert!(c.block_acks_lost > 0, "{c:?}");
+        assert!(c.queries_lost > 0, "{c:?}");
+        assert!(c.brownout_rounds > 0, "{c:?}");
+        // Injected losses surface in the experiment's own accounting.
+        assert!(
+            stats.lost_block_acks as u64 >= c.block_acks_lost,
+            "forced BA losses must be counted: {} vs {c:?}",
+            stats.lost_block_acks
+        );
+        assert!(
+            stats.missed_triggers as u64 >= 1,
+            "brownouts must show up as missed triggers"
+        );
+        assert!(stats.ber() > 0.05, "hostile plan must hurt, BER {}", stats.ber());
+        assert_eq!(exp.fault_trace().unwrap().len(), 160);
+    }
+
+    #[test]
+    fn faulted_experiments_are_deterministic() {
+        let run = || {
+            let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 23))).unwrap();
+            exp.attach_faults(FaultPlan::hostile(11));
+            let stats = exp.run(30);
+            (
+                stats.errors,
+                stats.elapsed,
+                exp.fault_trace().unwrap().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_rounds_advance_time_and_fault_models() {
+        let mut exp = Experiment::new(quiet(ExperimentConfig::fig5(1.0, 24))).unwrap();
+        exp.attach_faults(FaultPlan::hostile(3));
+        let dt = exp.run_idle();
+        assert!(!dt.is_zero());
+        assert_eq!(exp.fault_counters().unwrap().rounds, 1);
+        assert_eq!(exp.fault_trace().unwrap().len(), 1);
     }
 
     #[test]

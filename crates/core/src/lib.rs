@@ -14,9 +14,17 @@
 //! * [`experiment`] — the full evaluation loop (client ⇄ AP ⇄ tag over
 //!   the geometric channel) with presets for every scenario in the
 //!   paper's §6,
-//! * [`tagnet`] — a reliable chunked transport (CRC-framed chunks +
-//!   stop-and-wait ARQ via dual trigger signatures) layered on the raw
-//!   bit channel.
+//! * [`tagnet`] — reliable chunked transports layered on the raw bit
+//!   channel: CRC-framed chunks with stop-and-wait ARQ via dual trigger
+//!   signatures ([`tagnet::deliver`]), and a resilient session layer
+//!   with selective-repeat ARQ, adaptive redundancy, exponential
+//!   backoff and explicit desync recovery ([`tagnet::run_session`]).
+//!
+//! Deterministic fault injection (query loss, block-ACK loss, burst
+//! interference, oscillator drift, brownouts, coherence collapse) comes
+//! from the `witag-faults` crate and hooks in via
+//! [`experiment::Experiment::attach_faults`]; without a plan attached,
+//! results are bit-identical to a build without the fault layer.
 //!
 //! ```
 //! use witag::experiment::{Experiment, ExperimentConfig};
@@ -38,9 +46,13 @@ pub mod reader;
 pub mod tagnet;
 
 pub use experiment::{
-    CrossTraffic, Experiment, ExperimentConfig, ExperimentStats, QueryOrigin, RoundResult,
-    SecurityMode,
+    CrossTraffic, Experiment, ExperimentConfig, ExperimentError, ExperimentStats, QueryOrigin,
+    RoundResult, SecurityMode,
 };
 pub use fec::FecLayout;
 pub use query::{BuiltQuery, QueryDesign};
 pub use reader::{read_tag_bits, BitErrors, TagReadout};
+pub use tagnet::{
+    run_session, session_over_experiment, RoundOutcome, SessionConfig, SessionFailure,
+    SessionOutcome, SessionReport, SessionStats, TagnetError,
+};

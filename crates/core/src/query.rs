@@ -19,6 +19,7 @@
 //!   against the tag, adequate margins against noise.
 //! * **Throughput** — among feasible designs, minimise airtime per bit.
 
+use crate::experiment::ExperimentError;
 use witag_channel::Link;
 use witag_mac::ampdu::{aggregate, SubframeExtent};
 use witag_mac::header::{Addr, MacHeader};
@@ -125,15 +126,16 @@ impl QueryDesign {
     /// Search for the highest-throughput feasible design for a link and
     /// tag clock in the default 802.11n 20 MHz space.
     ///
-    /// `n_subframes` is capped by the 64-bit block-ACK bitmap. Returns
-    /// `None` if no MCS ≥ 16-QAM clears the link SNR (the link is too
-    /// poor to host corruptible queries).
+    /// `n_subframes` is capped by the 64-bit block-ACK bitmap. Fails
+    /// with [`ExperimentError::LinkTooPoor`] if no MCS ≥ 16-QAM clears
+    /// the link SNR (the link cannot host corruptible queries), or with
+    /// a geometry error for out-of-range subframe/guard counts.
     pub fn best(
         link: &Link,
         clock: &Oscillator,
         n_subframes: usize,
         guard_subframes: usize,
-    ) -> Option<QueryDesign> {
+    ) -> Result<QueryDesign, ExperimentError> {
         Self::best_in(link, clock, n_subframes, guard_subframes, DesignSpace::default())
     }
 
@@ -146,12 +148,16 @@ impl QueryDesign {
         n_subframes: usize,
         guard_subframes: usize,
         space: DesignSpace,
-    ) -> Option<QueryDesign> {
-        assert!(
-            (1..=witag_phy::MAX_AMPDU_SUBFRAMES).contains(&n_subframes),
-            "1..=64 subframes"
-        );
-        assert!(guard_subframes < n_subframes);
+    ) -> Result<QueryDesign, ExperimentError> {
+        if !(1..=witag_phy::MAX_AMPDU_SUBFRAMES).contains(&n_subframes) {
+            return Err(ExperimentError::SubframeCountOutOfRange { n: n_subframes });
+        }
+        if guard_subframes >= n_subframes {
+            return Err(ExperimentError::GuardExceedsSubframes {
+                guard: guard_subframes,
+                n: n_subframes,
+            });
+        }
         let snr = link.snr_db_at(space.bandwidth.hertz() as f64);
         let tick_ns = (clock.period_s() * 1e9).round() as u64;
         let sym_ns = 4_000u64; // long GI
@@ -232,7 +238,7 @@ impl QueryDesign {
                 }
             }
         }
-        best.map(|(_, d)| d)
+        best.map(|(_, d)| d).ok_or(ExperimentError::LinkTooPoor)
     }
 
     /// A marker signature whose burst durations are integer tick
@@ -268,24 +274,26 @@ impl QueryDesign {
     /// exactly. Proves the duration-coded signature is transmittable by
     /// any compliant sender (and gives harnesses real frames to send).
     ///
-    /// Returns one PSDU length per marker. Panics if a marker duration
-    /// is shorter than the legacy preamble + one symbol (the designer
-    /// never produces such signatures).
-    pub fn marker_frame_sizes(&self) -> Vec<usize> {
+    /// Returns one PSDU length per marker, or
+    /// [`ExperimentError::MarkerTooShort`] if a marker duration cannot
+    /// host a legacy frame (the designer never produces such signatures;
+    /// hand-built overrides can).
+    pub fn marker_frame_sizes(&self) -> Result<Vec<usize>, ExperimentError> {
         self.signature
             .bursts
             .iter()
             .map(|&burst| {
                 let data = burst
                     .checked_sub(Duration::micros(20))
-                    .expect("marker shorter than a legacy preamble");
+                    .ok_or(ExperimentError::MarkerTooShort { burst })?;
                 let n_sym = data.as_nanos() / 4_000;
-                assert!(n_sym >= 1, "marker too short for a legacy frame");
                 // n_sym symbols at 6 Mbps carry 24·n_sym bits = SERVICE(16)
                 // + 8·len + tail(6) + pad. Choose the largest len that fits.
                 let len = (24 * n_sym as usize).saturating_sub(16 + 6) / 8;
-                assert!(len >= 1, "marker too short for a non-empty PSDU");
-                len
+                if n_sym < 1 || len < 1 {
+                    return Err(ExperimentError::MarkerTooShort { burst });
+                }
+                Ok(len)
             })
             .collect()
     }
@@ -314,8 +322,8 @@ impl QueryDesign {
         ap: Addr,
         security: &mut Security,
         seq_start: u16,
-    ) -> BuiltQuery {
-        let payload_plain = vec![0xA5u8; self.payload_len_plain(security)];
+    ) -> Result<BuiltQuery, ExperimentError> {
+        let payload_plain = vec![0xA5u8; self.payload_len_plain(security)?];
         let mpdus: Vec<Mpdu> = (0..self.n_subframes)
             .map(|i| {
                 let mut header = MacHeader::qos_null(ap, client, ap, (seq_start + i as u16) % 4096);
@@ -339,16 +347,16 @@ impl QueryDesign {
             self.symbols_per_subframe * self.n_subframes + 1,
             "PSDU must fill k·n subframe symbols plus the SERVICE/tail symbol"
         );
-        BuiltQuery {
+        Ok(BuiltQuery {
             ppdu,
             extents,
             seq_start,
-        }
+        })
     }
 
     /// Plaintext payload length such that the *protected* MPDU hits the
     /// designed wire size (CCMP adds 16 bytes, WEP adds 7).
-    fn payload_len_plain(&self, security: &Security) -> usize {
+    fn payload_len_plain(&self, security: &Security) -> Result<usize, ExperimentError> {
         let target = self.payload_len();
         let overhead = match security {
             Security::Open => 0,
@@ -357,7 +365,10 @@ impl QueryDesign {
         };
         target
             .checked_sub(overhead)
-            .expect("subframe too small for the security overhead")
+            .ok_or(ExperimentError::SubframeTooSmallForSecurity {
+                payload: target,
+                overhead,
+            })
     }
 }
 
@@ -456,17 +467,41 @@ mod tests {
             },
             1,
         );
-        assert!(
-            QueryDesign::best(&link, &clock250(), 64, 2).is_none(),
+        assert_eq!(
+            QueryDesign::best(&link, &clock250(), 64, 2).unwrap_err(),
+            ExperimentError::LinkTooPoor,
             "500 m link (≈25dB) cannot host 16-QAM+ queries"
         );
+    }
+
+    #[test]
+    fn geometry_errors_are_typed() {
+        let link = los_link();
+        assert!(matches!(
+            QueryDesign::best(&link, &clock250(), 0, 0),
+            Err(ExperimentError::SubframeCountOutOfRange { n: 0 })
+        ));
+        assert!(matches!(
+            QueryDesign::best(&link, &clock250(), 8, 8),
+            Err(ExperimentError::GuardExceedsSubframes { guard: 8, n: 8 })
+        ));
+        // A hand-built signature with sub-preamble markers is rejected,
+        // not a panic.
+        let mut d = QueryDesign::best(&link, &clock250(), 64, 2).unwrap();
+        d.signature.bursts[0] = Duration::micros(10);
+        assert!(matches!(
+            d.marker_frame_sizes(),
+            Err(ExperimentError::MarkerTooShort { .. })
+        ));
     }
 
     #[test]
     fn built_query_matches_design_geometry() {
         let link = los_link();
         let d = QueryDesign::best(&link, &clock250(), 64, 2).unwrap();
-        let built = d.build_query(Addr::local(1), Addr::local(2), &mut Security::Open, 0);
+        let built = d
+            .build_query(Addr::local(1), Addr::local(2), &mut Security::Open, 0)
+            .unwrap();
         assert_eq!(built.extents.len(), 64);
         for (i, e) in built.extents.iter().enumerate() {
             assert_eq!(e.start, i * d.subframe_bytes, "subframe {i} offset");
@@ -486,7 +521,9 @@ mod tests {
         let link = los_link();
         let d = QueryDesign::best(&link, &clock250(), 64, 2).unwrap();
         let mut sec = Security::Wpa2(Box::new(witag_crypto::CcmpKey::new(&[7u8; 16])));
-        let built = d.build_query(Addr::local(1), Addr::local(2), &mut sec, 0);
+        let built = d
+            .build_query(Addr::local(1), Addr::local(2), &mut sec, 0)
+            .unwrap();
         assert_eq!(
             built.extents.last().unwrap().end,
             d.subframe_bytes * 64,
@@ -544,7 +581,7 @@ mod tests {
         use witag_phy::airtime::{legacy_ppdu_airtime, LegacyRate};
         let link = los_link();
         let d = QueryDesign::best(&link, &clock250(), 64, 2).unwrap();
-        let sizes = d.marker_frame_sizes();
+        let sizes = d.marker_frame_sizes().unwrap();
         assert_eq!(sizes.len(), d.signature.bursts.len());
         for (&len, &burst) in sizes.iter().zip(d.signature.bursts.iter()) {
             // The realised frame's airtime must equal the signature burst.

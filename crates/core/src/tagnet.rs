@@ -21,6 +21,8 @@
 //! workspace integration tests (`tests/tagnet_transport.rs`).
 
 use crate::fec::FecLayout;
+use std::collections::VecDeque;
+use std::fmt;
 use witag_crypto::crc8;
 
 /// Payload bits carried per chunk.
@@ -29,6 +31,94 @@ pub const CHUNK_PAYLOAD_BITS: usize = 20;
 pub const CHUNK_SEQ_BITS: usize = 4;
 /// Data bits per chunk before FEC: seq + payload + CRC-8.
 pub const CHUNK_DATA_BITS: usize = CHUNK_SEQ_BITS + CHUNK_PAYLOAD_BITS + 8;
+/// Smallest query (channel bits) that can carry one chunk:
+/// `CHUNK_DATA_BITS` data bits through Hamming(7,4) blocks.
+pub const MIN_CHANNEL_BITS: usize = CHUNK_DATA_BITS.div_ceil(4) * 7;
+/// Largest message a session can carry: the header length field is 12
+/// bits wide.
+pub const MAX_MESSAGE_BYTES: usize = (1 << 12) - 1;
+/// Largest selective-repeat window: each slot needs its own trigger
+/// signature, and tags realistically match at most a handful.
+pub const MAX_WINDOW: usize = 8;
+/// Magic prefix (8 bits) marking a base-report chunk (SLIDE / RESYNC
+/// responses) so it can never be mistaken for message payload metadata.
+pub const BASE_REPORT_MAGIC: u8 = 0xB5;
+
+/// Typed errors for the tagnet transport. These replace the asserts the
+/// framing layer used to carry: misuse now surfaces as a value the
+/// caller can match on instead of a panic in library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagnetError {
+    /// Sequence number does not fit the 4-bit field.
+    SeqOutOfRange {
+        /// The offending sequence number.
+        seq: u8,
+    },
+    /// Chunk payload is not exactly [`CHUNK_PAYLOAD_BITS`] long.
+    PayloadSizeMismatch {
+        /// Required payload length in bits.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// The query cannot carry even one chunk after FEC.
+    QueryTooSmall {
+        /// Channel bits the query offers.
+        channel_bits: usize,
+        /// Minimum channel bits a chunk needs.
+        needed: usize,
+    },
+    /// Message exceeds the 12-bit length field of the session header.
+    MessageTooLong {
+        /// Message size supplied.
+        bytes: usize,
+        /// Largest representable size.
+        max: usize,
+    },
+    /// Session window outside `1..=MAX_WINDOW`.
+    WindowOutOfRange {
+        /// The window that was requested.
+        window: usize,
+    },
+    /// A `Slot(k)` query with `k` outside the negotiated window.
+    SlotOutOfWindow {
+        /// Requested slot index.
+        slot: u8,
+        /// Negotiated window size.
+        window: usize,
+    },
+}
+
+impl fmt::Display for TagnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagnetError::SeqOutOfRange { seq } => {
+                write!(f, "sequence number {seq} does not fit 4 bits")
+            }
+            TagnetError::PayloadSizeMismatch { expected, got } => {
+                write!(f, "chunk payload must be {expected} bits, got {got}")
+            }
+            TagnetError::QueryTooSmall {
+                channel_bits,
+                needed,
+            } => write!(
+                f,
+                "query carries {channel_bits} bits but a chunk needs {needed}"
+            ),
+            TagnetError::MessageTooLong { bytes, max } => {
+                write!(f, "message is {bytes} bytes, header field caps at {max}")
+            }
+            TagnetError::WindowOutOfRange { window } => {
+                write!(f, "session window {window} outside 1..={MAX_WINDOW}")
+            }
+            TagnetError::SlotOutOfWindow { slot, window } => {
+                write!(f, "slot {slot} outside the {window}-slot window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TagnetError {}
 
 /// Which query flavour the client sends — the 1-bit feedback channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,18 +131,23 @@ pub enum QueryKind {
 
 /// Encode a chunk: `[seq(4) ‖ payload(20) ‖ crc8(8)]` → FEC → channel
 /// bits, padded with idle 1s to `channel_bits` (the query's capacity).
-///
-/// # Panics
-/// Panics if `payload.len() != CHUNK_PAYLOAD_BITS` or seq ≥ 16, or the
-/// FEC layout cannot fit the chunk.
-pub fn encode_chunk(seq: u8, payload: &[u8], channel_bits: usize) -> Vec<u8> {
-    assert!(seq < 16, "4-bit sequence number");
-    assert_eq!(payload.len(), CHUNK_PAYLOAD_BITS);
+pub fn encode_chunk(seq: u8, payload: &[u8], channel_bits: usize) -> Result<Vec<u8>, TagnetError> {
+    if seq >= 16 {
+        return Err(TagnetError::SeqOutOfRange { seq });
+    }
+    if payload.len() != CHUNK_PAYLOAD_BITS {
+        return Err(TagnetError::PayloadSizeMismatch {
+            expected: CHUNK_PAYLOAD_BITS,
+            got: payload.len(),
+        });
+    }
     let layout = FecLayout::fit(channel_bits);
-    assert!(
-        layout.data_bits() >= CHUNK_DATA_BITS,
-        "query too small for a chunk"
-    );
+    if layout.data_bits() < CHUNK_DATA_BITS {
+        return Err(TagnetError::QueryTooSmall {
+            channel_bits,
+            needed: MIN_CHANNEL_BITS,
+        });
+    }
     let mut data = Vec::with_capacity(layout.data_bits());
     for i in (0..CHUNK_SEQ_BITS).rev() {
         data.push((seq >> i) & 1);
@@ -66,13 +161,16 @@ pub fn encode_chunk(seq: u8, payload: &[u8], channel_bits: usize) -> Vec<u8> {
     data.resize(layout.data_bits(), 1); // pad data field
     let mut channel = layout.encode(&data);
     channel.resize(channel_bits, 1); // idle-pad the query
-    channel
+    Ok(channel)
 }
 
 /// Decode a chunk from received channel bits. Returns `(seq, payload)`
 /// if the CRC verifies.
 pub fn decode_chunk(received: &[u8], channel_bits: usize) -> Option<(u8, Vec<u8>)> {
     let layout = FecLayout::fit(channel_bits);
+    if received.len() < layout.channel_bits() || layout.data_bits() < CHUNK_DATA_BITS {
+        return None;
+    }
     let (data, _corrected) = layout.decode(&received[..layout.channel_bits()]);
     let seq = data[..CHUNK_SEQ_BITS]
         .iter()
@@ -140,14 +238,14 @@ impl TagSender {
     /// modulate. An ADVANCE acknowledges the chunk served so far and
     /// moves the window; the first query (nothing served yet) starts
     /// chunk 0 regardless of kind.
-    pub fn answer(&mut self, kind: QueryKind, channel_bits: usize) -> Vec<u8> {
+    pub fn answer(&mut self, kind: QueryKind, channel_bits: usize) -> Result<Vec<u8>, TagnetError> {
         if kind == QueryKind::Advance && self.served {
             self.cursor += 1;
             self.served = false;
         }
         if self.done() {
             // Idle fill once complete.
-            return vec![1u8; channel_bits];
+            return Ok(vec![1u8; channel_bits]);
         }
         self.served = true;
         let seq = (self.cursor % 16) as u8;
@@ -220,7 +318,7 @@ where
     let mut reader = ArqReader::new();
     let mut kind = QueryKind::Advance;
     for q in 1..=max_queries {
-        let tx = tag.answer(kind, channel_bits);
+        let tx = tag.answer(kind, channel_bits).ok()?;
         if tag.done() && reader.received.len() >= tag.chunk_count() * CHUNK_PAYLOAD_BITS {
             return Some((reader.message(message.len()), q - 1));
         }
@@ -232,6 +330,855 @@ where
         .then(|| (reader.message(message.len()), max_queries))
 }
 
+// ---------------------------------------------------------------------------
+// Resilient session transport: selective-repeat ARQ, adaptive redundancy,
+// exponential backoff and explicit desync recovery.
+// ---------------------------------------------------------------------------
+
+/// One query flavour of the session protocol. Like ADVANCE/REPEAT, every
+/// variant maps to a distinct trigger signature the tag already knows how
+/// to match — the client's choice of signature *is* the feedback channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionQuery {
+    /// "Transmit chunk `base + k`" for `k` inside the window.
+    Slot(u8),
+    /// "I hold every chunk in the current window — slide it forward."
+    /// The tag answers with a base report naming the post-slide base.
+    Slide,
+    /// "Where are you?" The tag answers with a base report naming its
+    /// current base. Never changes tag state.
+    Resync,
+    /// No query this round — the client backs off and lets the channel
+    /// (interference burst, brownout) recover.
+    Idle,
+}
+
+/// What one physical round produced, as seen by the session driver.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Did the tag decode the trigger signature? (Drives tag-side state:
+    /// a SLIDE the tag never heard must not slide the window.)
+    pub tag_heard: bool,
+    /// Channel bits the client read back, or `None` when the whole
+    /// block ACK (or the query itself) was lost.
+    pub readout: Option<Vec<u8>>,
+}
+
+/// Tag-side session state machine: a message chopped into chunks behind
+/// a selective-repeat window.
+///
+/// Chunk 0 is the header: `[len(12) ‖ crc8(message)(8)]`, so the client
+/// learns the chunk count and an end-to-end checksum from the first
+/// decode. Chunks `1..` carry 20 payload bits each.
+///
+/// State mutation is split into [`serve`](Self::serve) (pure — builds
+/// the response bits) and [`commit`](Self::commit) (applied only when
+/// the tag physically decoded the trigger), so a query the tag never
+/// heard leaves it exactly where it was.
+#[derive(Debug, Clone)]
+pub struct SessionSender {
+    chunks: Vec<Vec<u8>>,
+    window: usize,
+    base: usize,
+    /// A SLIDE has been applied and no SLOT has been served since. Makes
+    /// repeated SLIDEs idempotent: the client may re-ask when it lost
+    /// the base report, without the window running away.
+    slid: bool,
+}
+
+impl SessionSender {
+    /// Frame a message for a session with the given window (1..=[`MAX_WINDOW`]).
+    pub fn new(message: &[u8], window: usize) -> Result<Self, TagnetError> {
+        if message.len() > MAX_MESSAGE_BYTES {
+            return Err(TagnetError::MessageTooLong {
+                bytes: message.len(),
+                max: MAX_MESSAGE_BYTES,
+            });
+        }
+        if window == 0 || window > MAX_WINDOW {
+            return Err(TagnetError::WindowOutOfRange { window });
+        }
+        // Header chunk: 12-bit byte length ‖ 8-bit CRC over the bytes.
+        let len = message.len() as u16;
+        let hcrc = crc8(message);
+        let mut header = Vec::with_capacity(CHUNK_PAYLOAD_BITS);
+        for i in (0..12).rev() {
+            header.push(((len >> i) & 1) as u8);
+        }
+        for i in (0..8).rev() {
+            header.push((hcrc >> i) & 1);
+        }
+        let mut chunks = vec![header];
+        let mut bits: Vec<u8> = message
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1))
+            .collect();
+        let n = bits.len().div_ceil(CHUNK_PAYLOAD_BITS);
+        bits.resize(n * CHUNK_PAYLOAD_BITS, 0);
+        chunks.extend(bits.chunks(CHUNK_PAYLOAD_BITS).map(|c| c.to_vec()));
+        Ok(SessionSender {
+            chunks,
+            window,
+            base: 0,
+            slid: false,
+        })
+    }
+
+    /// Total chunks including the header.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Current window base (absolute chunk index).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    fn slide_target(&self) -> usize {
+        if self.slid {
+            self.base
+        } else {
+            (self.base + self.window).min(self.chunks.len())
+        }
+    }
+
+    /// Build the response to one query. Pure: call [`commit`](Self::commit)
+    /// afterwards iff the tag actually decoded the trigger.
+    pub fn serve(&self, query: &SessionQuery, channel_bits: usize) -> Result<Vec<u8>, TagnetError> {
+        match *query {
+            SessionQuery::Slot(k) => {
+                if (k as usize) >= self.window {
+                    return Err(TagnetError::SlotOutOfWindow {
+                        slot: k,
+                        window: self.window,
+                    });
+                }
+                let abs = self.base + k as usize;
+                if abs >= self.chunks.len() {
+                    return Ok(vec![1u8; channel_bits]); // idle fill past the end
+                }
+                encode_chunk((abs % 16) as u8, &self.chunks[abs], channel_bits)
+            }
+            SessionQuery::Slide => {
+                let target = self.slide_target();
+                encode_chunk((target % 16) as u8, &base_report_payload(target), channel_bits)
+            }
+            SessionQuery::Resync => encode_chunk(
+                (self.base % 16) as u8,
+                &base_report_payload(self.base),
+                channel_bits,
+            ),
+            SessionQuery::Idle => Ok(vec![1u8; channel_bits]),
+        }
+    }
+
+    /// Apply the state effect of a query the tag *did* hear.
+    pub fn commit(&mut self, query: &SessionQuery) {
+        match *query {
+            SessionQuery::Slot(_) => self.slid = false,
+            SessionQuery::Slide => {
+                if !self.slid {
+                    self.base = (self.base + self.window).min(self.chunks.len());
+                    self.slid = true;
+                }
+            }
+            SessionQuery::Resync | SessionQuery::Idle => {}
+        }
+    }
+}
+
+/// Base-report payload: `[BASE_REPORT_MAGIC(8) ‖ base(12)]`.
+fn base_report_payload(base: usize) -> Vec<u8> {
+    let mut p = Vec::with_capacity(CHUNK_PAYLOAD_BITS);
+    for i in (0..8).rev() {
+        p.push((BASE_REPORT_MAGIC >> i) & 1);
+    }
+    for i in (0..12).rev() {
+        p.push(((base >> i) & 1) as u8);
+    }
+    p
+}
+
+/// Parse a decoded chunk as a base report; the chunk seq must echo the
+/// reported base mod 16 (a cheap consistency check on top of the CRC).
+fn parse_base_report(seq: u8, payload: &[u8]) -> Option<usize> {
+    let magic = payload[..8].iter().fold(0u8, |acc, &b| (acc << 1) | b);
+    if magic != BASE_REPORT_MAGIC {
+        return None;
+    }
+    let base = payload[8..20].iter().fold(0usize, |acc, &b| (acc << 1) | b as usize);
+    (seq == (base % 16) as u8).then_some(base)
+}
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Selective-repeat window, 1..=[`MAX_WINDOW`].
+    pub window: usize,
+    /// Hard budget of rounds (queries + idle rounds) before giving up.
+    pub max_rounds: usize,
+    /// Starting per-chunk redundancy (copies per attempt).
+    pub initial_diversity: usize,
+    /// Redundancy ceiling for rate stepping.
+    pub max_diversity: usize,
+    /// Chunk-attempt outcomes remembered for rate adaptation.
+    pub history_len: usize,
+    /// Error-rate above which redundancy steps up.
+    pub err_high: f64,
+    /// Error-rate below which redundancy steps back down.
+    pub err_low: f64,
+    /// Consecutive failed rounds before the client backs off.
+    pub backoff_threshold: usize,
+    /// Cap on the exponential backoff (idle rounds ≤ 2^cap).
+    pub max_backoff_exp: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            window: 4,
+            max_rounds: 4096,
+            initial_diversity: 1,
+            max_diversity: 3,
+            history_len: 8,
+            err_high: 0.35,
+            err_low: 0.125,
+            backoff_threshold: 4,
+            max_backoff_exp: 4,
+        }
+    }
+}
+
+/// Why a session ended without the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFailure {
+    /// Round budget ran out before every chunk was recovered.
+    BudgetExhausted,
+    /// All chunks decoded but the end-to-end CRC disagreed — the
+    /// transport refuses to hand over silently corrupted bytes.
+    CrcMismatch,
+}
+
+/// Terminal state of a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// CRC-verified message bytes.
+    Delivered(Vec<u8>),
+    /// The session ended without a verified message.
+    Failed(SessionFailure),
+}
+
+/// Per-session counters: everything needed for goodput-vs-raw analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Physical rounds consumed (queries + idle backoff rounds).
+    pub rounds: usize,
+    /// Rounds that carried a real query (non-idle).
+    pub queries: usize,
+    /// Rounds deliberately spent idle (backoff).
+    pub idle_rounds: usize,
+    /// Slot queries beyond the first attempt for each chunk.
+    pub retransmissions: usize,
+    /// RESYNC queries issued.
+    pub resyncs: usize,
+    /// SLIDE queries issued.
+    pub slides: usize,
+    /// Rounds where the trigger or the whole block ACK was lost.
+    pub losses: usize,
+    /// Readouts that failed chunk CRC / FEC decoding.
+    pub crc_failures: usize,
+    /// Decodes carrying a stale sequence number (desync evidence).
+    pub desync_events: usize,
+    /// Redundancy increases (rate steps *down* in goodput terms).
+    pub rate_downs: usize,
+    /// Redundancy decreases.
+    pub rate_ups: usize,
+    /// Distinct payload bits recovered (chunk payloads, incl. header).
+    pub payload_bits: usize,
+    /// Raw channel bits the consumed queries could have carried.
+    pub raw_bits: usize,
+}
+
+impl SessionStats {
+    /// Useful payload bits per raw channel bit spent (0 when nothing
+    /// was spent). The gap to 1.0 is the resilience overhead.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.raw_bits == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.raw_bits as f64
+        }
+    }
+}
+
+/// Full result of [`run_session`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Everything that was spent getting there.
+    pub stats: SessionStats,
+}
+
+impl SessionReport {
+    /// Convenience: the delivered bytes, if any.
+    pub fn delivered(&self) -> Option<&[u8]> {
+        match &self.outcome {
+            SessionOutcome::Delivered(bytes) => Some(bytes),
+            SessionOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// Client-side session driver state (kept separate from the loop in
+/// [`run_session`] so tests can poke at decisions directly).
+struct SessionClient {
+    cfg: SessionConfig,
+    /// Client's belief of the tag window base — only ever updated from
+    /// decoded base reports, so it cannot silently diverge.
+    base: usize,
+    /// Decoded chunk payloads by absolute index (grown on demand).
+    got: Vec<Option<Vec<u8>>>,
+    /// Chunk count once the header has decoded.
+    n_chunks: Option<usize>,
+    /// Message byte length and end-to-end CRC from the header.
+    header: Option<(usize, u8)>,
+    diversity: usize,
+    history: VecDeque<bool>,
+    consecutive_losses: usize,
+    backoff_exp: u32,
+    pending_resync: bool,
+    attempts: Vec<u32>,
+    /// Soft-decision store: every modulated (non-idle) readout seen for
+    /// a chunk, kept across attempts so late copies can rescue early
+    /// ones by majority vote. This is the structural edge over
+    /// stop-and-wait, which throws each damaged reception away.
+    soft: Vec<Vec<Vec<u8>>>,
+    /// Majority-combined decodes awaiting confirmation. A 12-bit
+    /// seq+CRC check is too weak to accept a vote over garbage outright
+    /// (~1 in 4k false accepts adds up over a long transfer), so a
+    /// combined result only counts once a second, independent decode
+    /// reproduces the identical payload.
+    unconfirmed: Vec<Option<Vec<u8>>>,
+    /// Soft store for control queries (SLIDE/RESYNC). Their report
+    /// content is constant while the client's base belief is, so copies
+    /// accumulate under a `(kind, base)` key and reset when it changes.
+    control_soft: Vec<Vec<u8>>,
+    control_key: Option<(bool, usize)>,
+}
+
+/// Cap on stored soft copies per chunk (oldest evicted first).
+const SOFT_COPIES_CAP: usize = 12;
+
+impl SessionClient {
+    fn new(cfg: SessionConfig) -> Self {
+        let diversity = cfg.initial_diversity.clamp(1, cfg.max_diversity.max(1));
+        SessionClient {
+            cfg,
+            base: 0,
+            got: vec![None],
+            n_chunks: None,
+            header: None,
+            diversity,
+            history: VecDeque::new(),
+            consecutive_losses: 0,
+            backoff_exp: 0,
+            pending_resync: false,
+            attempts: Vec::new(),
+            soft: Vec::new(),
+            unconfirmed: Vec::new(),
+            control_soft: Vec::new(),
+            control_key: None,
+        }
+    }
+
+    fn have(&self, abs: usize) -> bool {
+        self.got.get(abs).is_some_and(|c| c.is_some())
+    }
+
+    /// First missing slot in the current window, if any.
+    fn next_missing_slot(&self) -> Option<u8> {
+        // Before the header is decoded only chunk 0 is actionable.
+        let end = self.n_chunks.unwrap_or(1);
+        (0..self.cfg.window as u8).find(|&k| {
+            let abs = self.base + k as usize;
+            abs < end && !self.have(abs)
+        })
+    }
+
+    fn store(&mut self, abs: usize, payload: Vec<u8>) -> usize {
+        if self.got.len() <= abs {
+            self.got.resize(abs + 1, None);
+        }
+        if self.got[abs].is_some() {
+            return 0; // duplicate
+        }
+        if abs == 0 {
+            let len = payload[..12].iter().fold(0usize, |acc, &b| (acc << 1) | b as usize);
+            let hcrc = payload[12..20].iter().fold(0u8, |acc, &b| (acc << 1) | b);
+            self.header = Some((len, hcrc));
+            self.n_chunks = Some(1 + (len * 8).div_ceil(CHUNK_PAYLOAD_BITS));
+        }
+        self.got[abs] = Some(payload);
+        CHUNK_PAYLOAD_BITS
+    }
+
+    fn complete(&self) -> bool {
+        self.n_chunks
+            .is_some_and(|n| (0..n).all(|abs| self.have(abs)))
+    }
+
+    fn assemble(&self) -> SessionOutcome {
+        let (len, hcrc) = self.header.expect("complete() implies header");
+        let n = self.n_chunks.expect("complete() implies chunk count");
+        let bits: Vec<u8> = (1..n)
+            .flat_map(|abs| self.got[abs].as_ref().expect("complete").iter().copied())
+            .collect();
+        let bytes: Vec<u8> = bits
+            .chunks(8)
+            .take(len)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+            .collect();
+        if bytes.len() == len && crc8(&bytes) == hcrc {
+            SessionOutcome::Delivered(bytes)
+        } else {
+            SessionOutcome::Failed(SessionFailure::CrcMismatch)
+        }
+    }
+
+    /// Record a chunk-attempt outcome and adapt the redundancy level.
+    fn adapt_rate(&mut self, success: bool, stats: &mut SessionStats) {
+        self.history.push_back(success);
+        if self.history.len() < self.cfg.history_len {
+            return;
+        }
+        while self.history.len() > self.cfg.history_len {
+            self.history.pop_front();
+        }
+        let errs = self.history.iter().filter(|&&ok| !ok).count();
+        let err_rate = errs as f64 / self.history.len() as f64;
+        if err_rate > self.cfg.err_high && self.diversity < self.cfg.max_diversity {
+            self.diversity += 1;
+            stats.rate_downs += 1;
+            self.history.clear();
+        } else if err_rate < self.cfg.err_low && self.diversity > 1 {
+            self.diversity -= 1;
+            stats.rate_ups += 1;
+            self.history.clear();
+        }
+    }
+}
+
+/// Majority-combine several noisy copies of the same transmission
+/// (Chase combining at bit granularity). Ties fall back to the first
+/// copy's bit.
+fn majority_combine(copies: &[Vec<u8>]) -> Vec<u8> {
+    let n = copies.iter().map(|c| c.len()).min().unwrap_or(0);
+    (0..n)
+        .map(|i| {
+            let ones = copies.iter().filter(|c| c[i] != 0).count();
+            match (2 * ones).cmp(&copies.len()) {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => 0,
+                std::cmp::Ordering::Equal => copies[0][i],
+            }
+        })
+        .collect()
+}
+
+/// Drive a complete message through the resilient session transport.
+///
+/// `channel` executes one physical round: it receives the query flavour
+/// and the tag's channel bits, and reports whether the tag heard the
+/// trigger plus what the client read back (`None` = nothing at all).
+/// For [`SessionQuery::Idle`] the driver still calls `channel` so the
+/// simulation can advance time; the readout is ignored.
+///
+/// The returned report never contains silently corrupted bytes: either
+/// the end-to-end CRC verified, or the outcome says why not.
+pub fn run_session<F>(
+    message: &[u8],
+    channel_bits: usize,
+    cfg: &SessionConfig,
+    mut channel: F,
+) -> Result<SessionReport, TagnetError>
+where
+    F: FnMut(&SessionQuery, &[u8]) -> RoundOutcome,
+{
+    let mut sender = SessionSender::new(message, cfg.window)?;
+    // Surface an undersized query once, up front, instead of per round.
+    encode_chunk(0, &[0u8; CHUNK_PAYLOAD_BITS], channel_bits)?;
+    let mut client = SessionClient::new(cfg.clone());
+    let mut stats = SessionStats::default();
+
+    // One closure-owned round executor so every path counts uniformly.
+    let mut run_one = |sender: &mut SessionSender,
+                       stats: &mut SessionStats,
+                       q: &SessionQuery|
+     -> Result<RoundOutcome, TagnetError> {
+        let tx = sender.serve(q, channel_bits)?;
+        let out = channel(q, &tx);
+        stats.rounds += 1;
+        if matches!(q, SessionQuery::Idle) {
+            stats.idle_rounds += 1;
+        } else {
+            stats.queries += 1;
+            stats.raw_bits += channel_bits;
+        }
+        if out.tag_heard {
+            sender.commit(q);
+        }
+        Ok(out)
+    };
+
+    while stats.rounds < cfg.max_rounds {
+        if client.complete() {
+            return Ok(SessionReport {
+                outcome: client.assemble(),
+                stats,
+            });
+        }
+
+        // Exponential backoff: after a streak of dead rounds, go quiet
+        // and re-establish the window afterwards.
+        if client.consecutive_losses >= cfg.backoff_threshold {
+            let idle = 1usize << client.backoff_exp.min(cfg.max_backoff_exp);
+            for _ in 0..idle {
+                if stats.rounds >= cfg.max_rounds {
+                    break;
+                }
+                run_one(&mut sender, &mut stats, &SessionQuery::Idle)?;
+            }
+            client.backoff_exp = (client.backoff_exp + 1).min(cfg.max_backoff_exp);
+            client.consecutive_losses = 0;
+            client.pending_resync = true;
+            continue;
+        }
+
+        // Pick this attempt's query. A pending resync outranks data; a
+        // fully-recovered window slides; otherwise fetch the first hole.
+        let (q, expected_seq) = if client.pending_resync {
+            (SessionQuery::Resync, None)
+        } else {
+            match client.next_missing_slot() {
+                None => (SessionQuery::Slide, None),
+                Some(k) => (
+                    SessionQuery::Slot(k),
+                    Some(((client.base + k as usize) % 16) as u8),
+                ),
+            }
+        };
+
+        // One attempt = up to `diversity` copies of the same query, with
+        // an early exit on the first accepted decode. Slides and resyncs
+        // go through the same machinery as data slots: inside a burst, a
+        // lone unprotected control query would stall the whole transfer
+        // at the window boundary.
+        //
+        // Data slots chase-combine per copy: every modulated readout
+        // lands in the chunk's soft store immediately and the store is
+        // re-voted on the spot, so an accept happens on the earliest
+        // copy that tips the majority, not at the attempt boundary. In a
+        // noisy regime a lone valid decode (direct or combined) is only
+        // a *candidate* — acceptance waits for a second decode, fed by
+        // at least one fresh copy, to reproduce the identical payload.
+        let needs_confirm_pre =
+            client.diversity > 1 || client.history.iter().any(|&ok| !ok);
+        let slot_abs = match q {
+            SessionQuery::Slot(k) => Some(client.base + k as usize),
+            _ => None,
+        };
+        if let Some(abs) = slot_abs {
+            if client.soft.len() <= abs {
+                client.soft.resize(abs + 1, Vec::new());
+            }
+            if client.unconfirmed.len() <= abs {
+                client.unconfirmed.resize(abs + 1, None);
+            }
+        }
+        let mut issued = 0usize;
+        let mut copies: Vec<Vec<u8>> = Vec::new();
+        let mut decoded: Option<(u8, Vec<u8>)> = None;
+        let mut candidate: Option<(u8, Vec<u8>)> = None;
+        let mut desynced = false;
+        let mut heard_anything = false;
+        'attempt: for _ in 0..client.diversity {
+            if stats.rounds >= cfg.max_rounds {
+                break;
+            }
+            let out = run_one(&mut sender, &mut stats, &q)?;
+            issued += 1;
+            let bits = match out.readout {
+                Some(bits) => bits,
+                None => {
+                    stats.losses += 1;
+                    continue;
+                }
+            };
+            if bits.iter().all(|&b| b == 1) {
+                // Pure idle pattern: the tag never modulated (brownout,
+                // missed trigger). Dead air — and poison for the
+                // combiner, so keep it out.
+                stats.losses += 1;
+                continue;
+            }
+            heard_anything = true;
+            match decode_chunk(&bits, channel_bits) {
+                Some((seq, payload)) => {
+                    let valid = match expected_seq {
+                        Some(want) => seq == want,
+                        None => parse_base_report(seq, &payload).is_some(),
+                    };
+                    if valid {
+                        let confirmed = match slot_abs {
+                            Some(abs) => {
+                                !needs_confirm_pre
+                                    || candidate.as_ref().is_some_and(|(_, p)| *p == payload)
+                                    || client.unconfirmed[abs].as_ref() == Some(&payload)
+                            }
+                            // Control reports carry ~20 check bits
+                            // (CRC + magic + seq): strong enough to
+                            // stand alone.
+                            None => true,
+                        };
+                        if confirmed {
+                            decoded = Some((seq, payload));
+                            break;
+                        }
+                        candidate = Some((seq, payload));
+                    } else if expected_seq.is_some() {
+                        // Decodable but stale: the tag's window is
+                        // elsewhere.
+                        stats.desync_events += 1;
+                        desynced = true;
+                    } else {
+                        stats.crc_failures += 1;
+                    }
+                }
+                None => stats.crc_failures += 1,
+            }
+            match slot_abs {
+                Some(abs) => {
+                    // Per-copy chase combining over the persistent soft
+                    // store. Votes need 3+ copies: with two, the
+                    // tie-break reduces the "combine" to the older copy
+                    // verbatim, which could rubber-stamp itself.
+                    let combo = {
+                        let store = &mut client.soft[abs];
+                        store.push(bits);
+                        while store.len() > SOFT_COPIES_CAP {
+                            store.remove(0);
+                        }
+                        if store.len() >= 3 {
+                            decode_chunk(&majority_combine(store), channel_bits)
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((seq, payload)) = combo {
+                        if expected_seq == Some(seq) {
+                            let confirmed = !needs_confirm_pre
+                                || candidate.as_ref().is_some_and(|(_, p)| *p == payload)
+                                || client.unconfirmed[abs].as_ref() == Some(&payload);
+                            if confirmed {
+                                decoded = Some((seq, payload));
+                                break 'attempt;
+                            }
+                            client.unconfirmed[abs] = Some(payload);
+                        }
+                    }
+                }
+                None => copies.push(bits),
+            }
+            if matches!(q, SessionQuery::Slide) {
+                // Any modulated readout proves the tag served (and so
+                // committed) this slide; the target is client-predicted
+                // below, no decode needed.
+                break;
+            }
+        }
+        // An unconfirmed lone decode still moves the attempt forward:
+        // it becomes the pending candidate via the stash logic below.
+        let mut unconfirmed_decode = false;
+        if decoded.is_none() {
+            if let Some(c) = candidate.take() {
+                decoded = Some(c);
+                unconfirmed_decode = true;
+            }
+        }
+        // Control reports are constant while the client's base belief
+        // is, so their copies accumulate too — under a key that resets
+        // the store whenever that belief (or the query kind) changes.
+        let fresh_copies = copies.len();
+        if matches!(q, SessionQuery::Slide | SessionQuery::Resync) {
+            let key = (matches!(q, SessionQuery::Slide), client.base);
+            if client.control_key != Some(key) {
+                client.control_soft.clear();
+                client.control_key = Some(key);
+            }
+            if decoded.is_none() {
+                client.control_soft.append(&mut copies);
+                while client.control_soft.len() > SOFT_COPIES_CAP {
+                    client.control_soft.remove(0);
+                }
+                copies = client.control_soft.clone();
+            }
+        }
+        // Combine the accumulated control copies. The freshness guard
+        // matters: re-combining an unchanged store would just reproduce
+        // the previous round's result.
+        if decoded.is_none() && fresh_copies > 0 && copies.len() >= 2 {
+            if let Some((seq, payload)) = decode_chunk(&majority_combine(&copies), channel_bits) {
+                if parse_base_report(seq, &payload).is_some() {
+                    decoded = Some((seq, payload));
+                }
+            }
+        }
+
+        match q {
+            SessionQuery::Slot(k) => {
+                let abs = client.base + k as usize;
+                let prior = client.attempts.get(abs).copied().unwrap_or(0);
+                if client.attempts.len() <= abs {
+                    client.attempts.resize(abs + 1, 0);
+                }
+                client.attempts[abs] = prior.saturating_add(issued as u32);
+                if issued > 0 {
+                    stats.retransmissions += issued - usize::from(prior == 0);
+                }
+                // seq+CRC8 is only 12 check bits; over thousands of
+                // garbage decodes a collision is a near-certainty, so in
+                // noisy regimes EVERY accept needs a second, independent
+                // decode to reproduce the identical payload. Decodes
+                // confirmed inside the loop already had one; a lone
+                // candidate gets stashed until a later decode agrees.
+                if unconfirmed_decode {
+                    let payload = decoded.as_ref().map(|(_, p)| p.clone());
+                    if payload.is_some() && client.unconfirmed[abs] != payload {
+                        client.unconfirmed[abs] = payload;
+                        decoded = None;
+                    }
+                }
+                match decoded {
+                    Some((_, payload)) => {
+                        stats.payload_bits += client.store(abs, payload);
+                        if let Some(s) = client.soft.get_mut(abs) {
+                            s.clear();
+                            s.shrink_to_fit();
+                        }
+                        client.unconfirmed[abs] = None;
+                        client.consecutive_losses = 0;
+                        client.backoff_exp = 0;
+                        client.adapt_rate(true, &mut stats);
+                    }
+                    None => {
+                        // Dead air drives backoff; noisy-but-alive air
+                        // drives redundancy instead — conflating the two
+                        // would idle through interference the combiner
+                        // could have worked around.
+                        if heard_anything {
+                            client.consecutive_losses = 0;
+                        } else {
+                            client.consecutive_losses += 1;
+                        }
+                        client.adapt_rate(false, &mut stats);
+                        if desynced {
+                            client.pending_resync = true;
+                        }
+                    }
+                }
+            }
+            SessionQuery::Slide | SessionQuery::Resync => {
+                if matches!(q, SessionQuery::Slide) {
+                    stats.slides += issued;
+                } else {
+                    stats.resyncs += issued;
+                }
+                match decoded {
+                    Some((seq, payload)) => {
+                        let base = parse_base_report(seq, &payload)
+                            .expect("validated as a base report above");
+                        client.base = base;
+                        client.pending_resync = false;
+                        client.consecutive_losses = 0;
+                        client.backoff_exp = 0;
+                        client.control_soft.clear();
+                        client.control_key = None;
+                    }
+                    None if matches!(q, SessionQuery::Slide) && heard_anything => {
+                        // The report itself was garbled, but a modulated
+                        // readout proves the tag served the slide — and
+                        // the slid-latch makes the commit exact — so the
+                        // client advances to the predicted target. If
+                        // the "modulation" was actually interference
+                        // over dead air, the next slot's stale sequence
+                        // number flags the desync and a resync repairs
+                        // the base.
+                        // A slide is only issued with the window fully
+                        // decoded, so the header — and with it the total
+                        // chunk count — is always in hand by now.
+                        let total = client.n_chunks.unwrap_or(usize::MAX);
+                        client.base = (client.base + client.cfg.window).min(total);
+                        client.consecutive_losses = 0;
+                        client.backoff_exp = 0;
+                        client.control_soft.clear();
+                        client.control_key = None;
+                    }
+                    None => {
+                        if heard_anything {
+                            client.consecutive_losses = 0;
+                        } else {
+                            client.consecutive_losses += 1;
+                        }
+                    }
+                }
+            }
+            SessionQuery::Idle => unreachable!("idle is only issued from the backoff path"),
+        }
+    }
+
+    if client.complete() {
+        return Ok(SessionReport {
+            outcome: client.assemble(),
+            stats,
+        });
+    }
+    Ok(SessionReport {
+        outcome: SessionOutcome::Failed(SessionFailure::BudgetExhausted),
+        stats,
+    })
+}
+
+/// Run a session over a live [`Experiment`](crate::experiment::Experiment):
+/// the standard glue between the transport and the physical simulation.
+///
+/// * the tag "hears" a query iff the round's trigger matched,
+/// * a lost block ACK (natural or fault-injected) yields no readout,
+/// * [`SessionQuery::Idle`] burns real airtime via
+///   [`run_idle`](crate::experiment::Experiment::run_idle) so fault
+///   episodes and energy harvesting progress while the client is quiet.
+pub fn session_over_experiment(
+    exp: &mut crate::experiment::Experiment,
+    message: &[u8],
+    cfg: &SessionConfig,
+) -> Result<SessionReport, TagnetError> {
+    let channel_bits = exp.design.bits_per_query();
+    run_session(message, channel_bits, cfg, |q, tx| {
+        if matches!(q, SessionQuery::Idle) {
+            exp.run_idle();
+            return RoundOutcome {
+                tag_heard: false,
+                readout: None,
+            };
+        }
+        let r = exp.run_round(tx);
+        RoundOutcome {
+            tag_heard: r.triggered,
+            readout: (!r.ba_lost).then_some(r.readout.bits),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,7 +1187,7 @@ mod tests {
     #[test]
     fn chunk_roundtrip() {
         let payload: Vec<u8> = (0..20).map(|i| (i % 2) as u8).collect();
-        let tx = encode_chunk(7, &payload, 62);
+        let tx = encode_chunk(7, &payload, 62).unwrap();
         assert_eq!(tx.len(), 62);
         let (seq, rx) = decode_chunk(&tx, 62).expect("clean chunk must decode");
         assert_eq!(seq, 7);
@@ -250,7 +1197,7 @@ mod tests {
     #[test]
     fn chunk_single_error_corrected_by_fec() {
         let payload = vec![1u8; 20];
-        let mut tx = encode_chunk(3, &payload, 62);
+        let mut tx = encode_chunk(3, &payload, 62).unwrap();
         tx[10] ^= 1;
         let (seq, rx) = decode_chunk(&tx, 62).expect("FEC must fix one flip");
         assert_eq!(seq, 3);
@@ -260,7 +1207,7 @@ mod tests {
     #[test]
     fn chunk_heavy_damage_detected_by_crc() {
         let payload = vec![0u8; 20];
-        let mut tx = encode_chunk(3, &payload, 62);
+        let mut tx = encode_chunk(3, &payload, 62).unwrap();
         for b in tx.iter_mut().take(20) {
             *b ^= 1;
         }
@@ -305,5 +1252,234 @@ mod tests {
     fn empty_message_is_trivially_delivered() {
         let (got, _) = deliver(b"", 62, 10, |tx| tx.to_vec()).unwrap();
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn framing_errors_are_typed() {
+        let payload = vec![0u8; CHUNK_PAYLOAD_BITS];
+        assert_eq!(
+            encode_chunk(16, &payload, 62).unwrap_err(),
+            TagnetError::SeqOutOfRange { seq: 16 }
+        );
+        assert_eq!(
+            encode_chunk(0, &payload[..10], 62).unwrap_err(),
+            TagnetError::PayloadSizeMismatch {
+                expected: CHUNK_PAYLOAD_BITS,
+                got: 10
+            }
+        );
+        assert!(matches!(
+            encode_chunk(0, &payload, 7).unwrap_err(),
+            TagnetError::QueryTooSmall { channel_bits: 7, .. }
+        ));
+        assert!(matches!(
+            SessionSender::new(&[0u8; MAX_MESSAGE_BYTES + 1], 4).unwrap_err(),
+            TagnetError::MessageTooLong { .. }
+        ));
+        assert!(matches!(
+            SessionSender::new(b"x", 0).unwrap_err(),
+            TagnetError::WindowOutOfRange { window: 0 }
+        ));
+        let s = SessionSender::new(b"x", 2).unwrap();
+        assert!(matches!(
+            s.serve(&SessionQuery::Slot(2), 62).unwrap_err(),
+            TagnetError::SlotOutOfWindow { slot: 2, window: 2 }
+        ));
+        // Errors render and behave as std errors.
+        let e: Box<dyn std::error::Error> = Box::new(TagnetError::SeqOutOfRange { seq: 16 });
+        assert!(e.to_string().contains("4 bits"));
+    }
+
+    /// A perfect channel: tag always hears, client always reads truth.
+    fn clean_channel(
+        sender_bits: &[u8],
+    ) -> RoundOutcome {
+        RoundOutcome {
+            tag_heard: true,
+            readout: Some(sender_bits.to_vec()),
+        }
+    }
+
+    #[test]
+    fn session_delivers_on_clean_channel() {
+        let message = b"selective repeat over block-ACK bitmaps";
+        let cfg = SessionConfig::default();
+        let report = run_session(message, 62, &cfg, |_q, tx| clean_channel(tx)).unwrap();
+        assert_eq!(report.delivered(), Some(message.as_slice()));
+        // 39 bytes = 312 bits -> 16 data chunks + header = 17 chunks,
+        // plus one slide per 4-chunk window.
+        assert!(report.stats.queries <= 17 + 6, "{:?}", report.stats);
+        assert_eq!(report.stats.idle_rounds, 0);
+        assert_eq!(report.stats.resyncs, 0);
+        assert!(report.stats.goodput_ratio() > 0.2);
+    }
+
+    #[test]
+    fn session_delivers_empty_message() {
+        let report =
+            run_session(b"", 62, &SessionConfig::default(), |_q, tx| clean_channel(tx)).unwrap();
+        assert_eq!(report.delivered(), Some(&[][..]));
+    }
+
+    #[test]
+    fn slide_is_idempotent_until_next_slot() {
+        let mut s = SessionSender::new(&[0xAB; 20], 4).unwrap();
+        assert_eq!(s.base(), 0);
+        s.commit(&SessionQuery::Slide);
+        assert_eq!(s.base(), 4);
+        // A repeated SLIDE (client lost the report) must not slide again.
+        s.commit(&SessionQuery::Slide);
+        assert_eq!(s.base(), 4);
+        // Resync does not unlatch either.
+        s.commit(&SessionQuery::Resync);
+        s.commit(&SessionQuery::Slide);
+        assert_eq!(s.base(), 4);
+        // A served slot does.
+        s.commit(&SessionQuery::Slot(0));
+        s.commit(&SessionQuery::Slide);
+        assert_eq!(s.base(), 8);
+    }
+
+    #[test]
+    fn base_reports_roundtrip() {
+        let s = SessionSender::new(&[0u8; 100], 4).unwrap();
+        let tx = s.serve(&SessionQuery::Resync, 62).unwrap();
+        let (seq, payload) = decode_chunk(&tx, 62).unwrap();
+        assert_eq!(parse_base_report(seq, &payload), Some(0));
+        // Slide response names the post-slide base before committing.
+        let tx = s.serve(&SessionQuery::Slide, 62).unwrap();
+        let (seq, payload) = decode_chunk(&tx, 62).unwrap();
+        assert_eq!(parse_base_report(seq, &payload), Some(4));
+        // Ordinary chunks never parse as base reports.
+        let tx = s.serve(&SessionQuery::Slot(0), 62).unwrap();
+        let (seq, payload) = decode_chunk(&tx, 62).unwrap();
+        assert_eq!(parse_base_report(seq, &payload), None);
+    }
+
+    #[test]
+    fn session_survives_deaf_tag_episodes() {
+        // The tag periodically misses triggers (drift burst): state must
+        // not advance on unheard queries and the session must recover.
+        let message = b"no phantom state transitions";
+        let mut rng = Rng::seed_from_u64(17);
+        let cfg = SessionConfig {
+            max_rounds: 2000,
+            ..SessionConfig::default()
+        };
+        let report = run_session(message, 62, &cfg, |_q, tx| {
+            if rng.chance(0.3) {
+                RoundOutcome {
+                    tag_heard: false,
+                    readout: None,
+                }
+            } else {
+                clean_channel(tx)
+            }
+        })
+        .unwrap();
+        assert_eq!(report.delivered(), Some(message.as_slice()));
+        assert!(report.stats.losses > 0);
+    }
+
+    #[test]
+    fn session_backs_off_and_resyncs_through_a_blackout() {
+        // A long dead window mid-transfer: expect idle backoff rounds
+        // and a resync, then a clean finish.
+        let message = b"backoff then resync then finish the transfer";
+        let mut round = 0usize;
+        let cfg = SessionConfig {
+            max_rounds: 3000,
+            ..SessionConfig::default()
+        };
+        let report = run_session(message, 62, &cfg, |_q, tx| {
+            round += 1;
+            if (10..60).contains(&round) {
+                RoundOutcome {
+                    tag_heard: false,
+                    readout: None,
+                }
+            } else {
+                clean_channel(tx)
+            }
+        })
+        .unwrap();
+        assert_eq!(report.delivered(), Some(message.as_slice()));
+        assert!(report.stats.idle_rounds > 0, "{:?}", report.stats);
+        assert!(report.stats.resyncs > 0, "{:?}", report.stats);
+        assert!(report.stats.losses > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn session_adapts_diversity_to_noise() {
+        // Sustained moderate bit noise: the client should step
+        // redundancy up, and majority combining should carry chunks
+        // that individual copies cannot.
+        let message = b"adaptive redundancy under sustained noise";
+        let mut rng = Rng::seed_from_u64(23);
+        let cfg = SessionConfig {
+            max_rounds: 6000,
+            ..SessionConfig::default()
+        };
+        let report = run_session(message, 62, &cfg, |_q, tx| {
+            let bits = tx
+                .iter()
+                .map(|&b| if rng.chance(0.04) { b ^ 1 } else { b })
+                .collect();
+            RoundOutcome {
+                tag_heard: true,
+                readout: Some(bits),
+            }
+        })
+        .unwrap();
+        assert_eq!(report.delivered(), Some(message.as_slice()));
+        assert!(report.stats.rate_downs > 0, "{:?}", report.stats);
+        assert!(report.stats.retransmissions > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn session_gives_up_cleanly_on_dead_channel() {
+        let cfg = SessionConfig {
+            max_rounds: 200,
+            ..SessionConfig::default()
+        };
+        let report = run_session(b"unreachable", 62, &cfg, |_q, _tx| RoundOutcome {
+            tag_heard: false,
+            readout: None,
+        })
+        .unwrap();
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Failed(SessionFailure::BudgetExhausted)
+        );
+        assert_eq!(report.stats.rounds, 200);
+        assert!(report.stats.idle_rounds > 0, "backoff must have engaged");
+    }
+
+    #[test]
+    fn session_never_delivers_corrupted_bytes() {
+        // An adversarial channel that replays a *valid* chunk from a
+        // different position: the seq check plus end-to-end CRC must
+        // keep the output clean or fail loudly — never silent garbage.
+        let message = b"integrity over availability";
+        let mut rng = Rng::seed_from_u64(5);
+        let wrong = encode_chunk(9, &[1u8; CHUNK_PAYLOAD_BITS], 62).unwrap();
+        let cfg = SessionConfig {
+            max_rounds: 1500,
+            ..SessionConfig::default()
+        };
+        let report = run_session(message, 62, &cfg, |_q, tx| {
+            let bits = if rng.chance(0.2) { wrong.clone() } else { tx.to_vec() };
+            RoundOutcome {
+                tag_heard: true,
+                readout: Some(bits),
+            }
+        })
+        .unwrap();
+        // Either the correct bytes come out, or the failure is loud
+        // (CrcMismatch / budget) — silent garbage is the one forbidden
+        // outcome.
+        if let SessionOutcome::Delivered(bytes) = report.outcome {
+            assert_eq!(bytes, message);
+        }
     }
 }

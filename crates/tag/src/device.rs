@@ -193,6 +193,9 @@ pub struct Tag {
     cfg: TagConfig,
     matcher: TriggerMatcher,
     queue: VecDeque<u8>,
+    /// Extra fractional clock error beyond the temperature model (fault
+    /// injection: drift/jitter bursts). 0.0 = nominal hardware.
+    clock_fault: f64,
     /// Queries answered (diagnostics).
     pub queries_answered: u64,
 }
@@ -209,8 +212,29 @@ impl Tag {
             cfg,
             matcher,
             queue: VecDeque::new(),
+            clock_fault: 0.0,
             queries_answered: 0,
         }
+    }
+
+    /// Inject (or clear, with 0.0) an extra fractional clock-frequency
+    /// error on top of the temperature model. Both the trigger matcher
+    /// and the modulation schedule see the faulted clock, exactly as a
+    /// glitching oscillator would: a large enough error makes the tag
+    /// reject triggers outright; a moderate one smears its switch
+    /// schedule across subframe boundaries.
+    pub fn set_clock_fault(&mut self, frac_error: f64) {
+        if frac_error == self.clock_fault {
+            return;
+        }
+        self.clock_fault = frac_error;
+        let mut matcher = TriggerMatcher::new(
+            self.cfg.profile.signature.clone(),
+            self.cfg.oscillator,
+            self.cfg.temperature_delta,
+        );
+        matcher.apply_frequency_error(frac_error);
+        self.matcher = matcher;
     }
 
     /// Queue data bits for transmission.
@@ -262,10 +286,12 @@ impl Tag {
         // (drifted) tick units: the counter counts nominal tick targets
         // but each tick really lasts `actual_tick`.
         let nominal_tick = self.cfg.oscillator.period_s();
-        let actual_tick = 1.0 / self
-            .cfg
-            .oscillator
-            .effective_hz(self.cfg.temperature_delta);
+        let actual_tick = 1.0
+            / (self
+                .cfg
+                .oscillator
+                .effective_hz(self.cfg.temperature_delta)
+                * (1.0 + self.clock_fault));
         let ticks_of = |d: Duration| (d.as_secs_f64() / nominal_tick).round();
         let elapse = |ticks: f64| Duration::from_secs_f64(ticks * actual_tick);
 
@@ -517,6 +543,64 @@ mod tests {
         assert!(
             mismatches > 60,
             "6% clock error over 1.28 ms must smear many symbols, got {mismatches}"
+        );
+    }
+
+    #[test]
+    fn clock_fault_smears_schedule_and_clears() {
+        // A 1% clock fault on an otherwise perfect crystal must smear
+        // the schedule like a hot ring oscillator would; clearing the
+        // fault must restore nominal behaviour exactly.
+        let mut tag = Tag::new(test_config());
+        let bits: Vec<u8> = (0..62).map(|i| (i % 2) as u8).collect();
+        let (trace, true_start) = query_trace(Duration::micros(36 + 64 * 20));
+        let phy = PhyConfig::new(Mcs::ht(5));
+        let score = |plan: &PlannedModulation| {
+            let schedule = plan.to_tag_schedule(true_start, &phy, 64 * 5, TagMode::Phase0);
+            let mut mismatches = 0;
+            for (i, &bit) in bits.iter().enumerate() {
+                let base = (2 + i) * 5;
+                for s in base..base + 5 {
+                    let interior = s > base && s < base + 4;
+                    let want = if bit == 0 && interior {
+                        TagMode::Phase180
+                    } else {
+                        TagMode::Phase0
+                    };
+                    if schedule.data[s] != want {
+                        mismatches += 1;
+                    }
+                }
+            }
+            mismatches
+        };
+
+        tag.push_bits(&bits);
+        let clean = score(&tag.respond(&trace).expect("nominal clock triggers"));
+        assert_eq!(clean, 0);
+
+        tag.set_clock_fault(0.01);
+        // 1% over a ~320 µs signature is within the matcher tolerance
+        // here, so the tag still triggers — but the schedule smears.
+        tag.push_bits(&bits);
+        let faulted = score(&tag.respond(&trace).expect("1% fault still triggers"));
+        assert!(faulted > 20, "1% clock fault must smear symbols, got {faulted}");
+
+        tag.set_clock_fault(0.0);
+        tag.push_bits(&bits);
+        let restored = score(&tag.respond(&trace).expect("restored clock triggers"));
+        assert_eq!(restored, 0, "clearing the fault must restore nominal timing");
+    }
+
+    #[test]
+    fn huge_clock_fault_rejects_trigger() {
+        let mut tag = Tag::new(test_config());
+        tag.set_clock_fault(0.2);
+        tag.push_bits(&[0; 62]);
+        let (trace, _) = query_trace(Duration::micros(36 + 64 * 20));
+        assert!(
+            tag.respond(&trace).is_none(),
+            "20% clock error must fail the duration signature"
         );
     }
 

@@ -72,6 +72,15 @@ impl TriggerMatcher {
         }
     }
 
+    /// Apply an extra fractional frequency error on top of the
+    /// temperature model (fault injection: drift/jitter bursts). A
+    /// positive `frac` means the clock runs fast, so each real tick is
+    /// shorter. Idempotence is the caller's concern: rebuild the
+    /// matcher before applying a new error.
+    pub fn apply_frequency_error(&mut self, frac: f64) {
+        self.actual_tick_s /= 1.0 + frac;
+    }
+
     /// Measure a duration in (drifted) clock ticks.
     pub fn measure_ticks(&self, d: Duration) -> u64 {
         (d.as_secs_f64() / self.actual_tick_s).round() as u64

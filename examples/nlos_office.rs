@@ -42,6 +42,9 @@ fn describe(name: &str, cfg: ExperimentConfig) {
         Err(ExperimentError::LinkTooPoor) => {
             println!("  link too poor for any corruptible query design — out of range");
         }
+        Err(other) => {
+            println!("  invalid configuration: {other}");
+        }
     }
     println!();
 }

@@ -1,0 +1,90 @@
+//! Property tests for the resilient session transport: whatever fault
+//! plan the generator dreams up, the session either hands back the
+//! exact bytes or fails loudly — and everything is a pure function of
+//! the seeds.
+
+mod common;
+
+use common::{test_message, SyntheticChannel};
+use proptest::prelude::*;
+use witag::tagnet::{run_session, SessionConfig, SessionFailure, SessionOutcome};
+use witag_faults::FaultPlan;
+
+const CHANNEL_BITS: usize = 62;
+
+/// A modest budget so heavy plans exercise the failure path too.
+const BUDGET: usize = 1500;
+
+fn cfg() -> SessionConfig {
+    SessionConfig {
+        max_rounds: BUDGET,
+        ..SessionConfig::default()
+    }
+}
+
+fn run(message: &[u8], plan: FaultPlan) -> (witag::tagnet::SessionReport, Vec<u8>, u64) {
+    let mut ch = SyntheticChannel::new(plan, CHANNEL_BITS);
+    let report =
+        run_session(message, CHANNEL_BITS, &cfg(), |_q, tx| ch.round(tx)).expect("valid setup");
+    let trace = ch.trace();
+    (report, trace, ch.rounds())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delivery is all-or-nothing: under ANY fault intensity the session
+    /// returns the message byte-identical or an explicit failure. No
+    /// silent corruption, no truncation, no reordering.
+    #[test]
+    fn no_silent_corruption_under_any_plan(
+        seed in any::<u64>(),
+        intensity in 0.0f64..1.3,
+        msg_len in 0usize..192,
+        msg_seed in any::<u64>(),
+    ) {
+        let message = test_message(msg_len, msg_seed);
+        let (report, _, _) = run(&message, FaultPlan::hostile_scaled(seed, intensity));
+        match report.outcome {
+            SessionOutcome::Delivered(bytes) => prop_assert_eq!(bytes, message),
+            SessionOutcome::Failed(
+                SessionFailure::BudgetExhausted | SessionFailure::CrcMismatch,
+            ) => {}
+        }
+        prop_assert!(report.stats.rounds <= BUDGET);
+    }
+
+    /// The whole stack — fault models, channel noise, session control
+    /// loop — replays bit-identically from the seeds: same outcome,
+    /// same statistics, same per-round fault trace.
+    #[test]
+    fn same_seed_same_trace_same_outcome(
+        seed in any::<u64>(),
+        intensity in 0.0f64..1.2,
+        msg_len in 1usize..128,
+        msg_seed in any::<u64>(),
+    ) {
+        let message = test_message(msg_len, msg_seed);
+        let (ra, ta, na) = run(&message, FaultPlan::hostile_scaled(seed, intensity));
+        let (rb, tb, nb) = run(&message, FaultPlan::hostile_scaled(seed, intensity));
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(na, nb);
+    }
+
+    /// A quiet plan (intensity zero) must never fail: the fault layer
+    /// at rest costs nothing but the ambient channel noise.
+    #[test]
+    fn zero_intensity_always_delivers(
+        seed in any::<u64>(),
+        msg_len in 0usize..96,
+        msg_seed in any::<u64>(),
+    ) {
+        let message = test_message(msg_len, msg_seed);
+        let (report, _, _) = run(&message, FaultPlan::hostile_scaled(seed, 0.0));
+        match report.outcome {
+            SessionOutcome::Delivered(bytes) => prop_assert_eq!(bytes, message),
+            other => prop_assert!(false, "quiet plan must deliver, got {:?}", other),
+        }
+    }
+}

@@ -54,7 +54,7 @@ fn manual_arq_over_real_stack() {
     let mut kind = QueryKind::Advance;
     let mut safety = 0;
     while !tag.done() {
-        let tx = tag.answer(kind, n_bits);
+        let tx = tag.answer(kind, n_bits).expect("query fits the framing");
         if tag.done() {
             break;
         }
