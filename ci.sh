@@ -6,3 +6,10 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Perf gate smoke: run the baseline binary in quick mode (tiny iteration
+# counts, same code paths) and assert it emits parseable JSON. Thresholds
+# are judged by humans against EXPERIMENTS.md § "PERF GATE", not here.
+WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
+    cargo run -q --release -p witag-bench --bin perf_gate > /dev/null
+python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"

@@ -9,10 +9,13 @@ use witag_channel::{Link, LinkConfig, TagMode, TagSchedule};
 use witag_crypto::CcmpKey;
 use witag_mac::ampdu::{aggregate, deaggregate, Mpdu};
 use witag_mac::header::{Addr, MacHeader};
-use witag_phy::convolutional::{bits_to_llrs, encode_punctured, decode_punctured};
-use witag_phy::mcs::{CodeRate, Mcs};
+use witag_phy::convolutional::{
+    bits_to_llrs, encode_punctured, decode_punctured, encode_stream, viterbi_decode_stream,
+};
+use witag_phy::mcs::{CodeRate, Mcs, Modulation};
+use witag_phy::modulation::{demodulate_llr, modulate};
 use witag_phy::ppdu::{transmit, PhyConfig};
-use witag_phy::receiver::receive;
+use witag_phy::receiver::{receive, receive_with_scratch, RxScratch};
 use witag_sim::geom::Floorplan;
 use witag_sim::rng::Rng;
 
@@ -42,6 +45,60 @@ fn bench_phy_chain(c: &mut Criterion) {
     g.bench_function("receive_1664B_mcs5", |b| {
         b.iter(|| receive(std::hint::black_box(&ppdu), 1e-6));
     });
+    g.finish();
+}
+
+fn bench_viterbi_stream(c: &mut Criterion) {
+    // The unterminated decoder exactly as the receive chain calls it:
+    // one whole PPDU's worth of mother-rate LLRs in a single pass.
+    let mut rng = Rng::seed_from_u64(2);
+    let n_bits = 4096;
+    let data: Vec<u8> = (0..n_bits).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let llrs = bits_to_llrs(&encode_stream(&data)[..2 * n_bits]);
+    let mut g = c.benchmark_group("viterbi");
+    g.throughput(Throughput::Elements(n_bits as u64));
+    g.bench_function("decode_stream_4096_bits", |b| {
+        b.iter(|| viterbi_decode_stream(std::hint::black_box(&llrs), n_bits));
+    });
+    g.finish();
+}
+
+fn bench_demapper(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(3);
+    let mut g = c.benchmark_group("demap");
+    for (name, m) in [
+        ("bpsk", Modulation::Bpsk),
+        ("qam64", Modulation::Qam64),
+        ("qam256", Modulation::Qam256),
+    ] {
+        let bpsc = m.bits_per_subcarrier();
+        let bits: Vec<u8> = (0..bpsc * 512).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let syms = modulate(&bits, m);
+        g.throughput(Throughput::Elements(syms.len() as u64));
+        g.bench_function(&format!("llr_512_syms_{name}"), |b| {
+            b.iter(|| demodulate_llr(std::hint::black_box(&syms), m, 1e-3));
+        });
+    }
+    g.finish();
+}
+
+fn bench_receive_mcs_sweep(c: &mut Criterion) {
+    // The full receive chain at the MCS extremes: MCS 0 (BPSK r1/2,
+    // 1 stream), MCS 7 (64-QAM r5/6, 1 stream), MCS 15 (64-QAM r5/6,
+    // 2 streams) — with and without scratch reuse at MCS 7.
+    let psdu = vec![0x5Au8; 1664];
+    let mut g = c.benchmark_group("receive");
+    g.throughput(Throughput::Bytes(psdu.len() as u64));
+    for idx in [0usize, 7, 15] {
+        let ppdu = transmit(&PhyConfig::new(Mcs::ht(idx)), &psdu);
+        g.bench_function(&format!("fresh_1664B_mcs{idx}"), |b| {
+            b.iter(|| receive(std::hint::black_box(&ppdu), 1e-6));
+        });
+        let mut scratch = RxScratch::new();
+        g.bench_function(&format!("scratch_1664B_mcs{idx}"), |b| {
+            b.iter(|| receive_with_scratch(std::hint::black_box(&ppdu), 1e-6, &mut scratch));
+        });
+    }
     g.finish();
 }
 
@@ -118,6 +175,9 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_viterbi,
+    bench_viterbi_stream,
+    bench_demapper,
+    bench_receive_mcs_sweep,
     bench_phy_chain,
     bench_ampdu,
     bench_ccmp,

@@ -55,7 +55,12 @@ fn main() {
         "intensity", "session", "retx", "resyncs", "goodput", "stop-and-wait", "burst%", "brown%"
     );
 
-    for intensity in [0.0, 0.5, 1.0] {
+    // The three intensity points are independent (fresh experiment and
+    // fault schedule each); run them on separate workers and print the
+    // pre-formatted rows in intensity order.
+    let intensities = [0.0, 0.5, 1.0];
+    let rows = witag_sim::par_map(intensities.len(), witag_sim::available_threads(), |pt| {
+        let intensity = intensities[pt];
         let mut exp = experiment(intensity);
         let cfg = SessionConfig {
             max_rounds: budget,
@@ -93,7 +98,7 @@ fn main() {
             None => "FAIL budget".to_string(),
         };
 
-        println!(
+        format!(
             "{:>9.2} {:>16} {:>8} {:>9} {:>9.3} {:>16} {:>8.1} {:>8.1}",
             intensity,
             session_cell,
@@ -103,7 +108,10 @@ fn main() {
             baseline_cell,
             100.0 * c.burst_rounds as f64 / c.rounds.max(1) as f64,
             100.0 * c.brownout_rounds as f64 / c.rounds.max(1) as f64,
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     println!("\nexpected: both transports are cheap on a quiet link. As intensity");

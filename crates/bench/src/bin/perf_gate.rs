@@ -1,0 +1,134 @@
+//! PERF GATE — the repository's performance baseline, as machine-readable
+//! JSON.
+//!
+//! Measures the PHY hot path (transmit, receive with and without scratch
+//! reuse, the flat Viterbi kernel) in ns/op and the full end-to-end query
+//! round in rounds/sec, serial vs the sharded parallel runner, then
+//! writes `BENCH_phy.json` (current directory, or `WITAG_PERF_OUT`) and
+//! prints the same JSON to stdout.
+//!
+//! The JSON is hand-rolled — the offline crate set has no serde — and
+//! deliberately flat so `python3 -c "import json,sys; json.load(...)"`,
+//! jq, or a spreadsheet can all gate on it. CI smoke-runs this binary
+//! with `WITAG_PERF_QUICK=1` (tiny iteration counts, same code paths)
+//! and asserts the output parses; threshold judgements stay human.
+//!
+//! Interpreting the numbers: `receive_scratch_ns` vs `receive_fresh_ns`
+//! isolates the allocation-reuse win; `round_parallel_per_s` vs
+//! `round_serial_per_s` isolates the sharded-runner win, which tracks
+//! the machine's core count (on a single-core container the two are
+//! equal to within noise, by design — shard results are bit-identical
+//! for every thread count).
+
+use std::time::Instant;
+
+use witag::experiment::{Experiment, ExperimentConfig};
+use witag_faults::FaultPlan;
+use witag_phy::convolutional::{bits_to_llrs, encode_stream, viterbi_decode_stream};
+use witag_phy::mcs::Mcs;
+use witag_phy::ppdu::{transmit, PhyConfig};
+use witag_phy::receiver::{receive, receive_with_scratch, RxScratch};
+use witag_sim::Rng;
+
+fn quick() -> bool {
+    std::env::var("WITAG_PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Pre-optimisation criterion numbers (µs/iter), measured on this
+/// container at the seed commit before the allocation-free hot path and
+/// flat Viterbi kernel landed. Kept as the fixed "before" column so the
+/// emitted JSON always carries before/after in one artefact.
+const SEED_RECEIVE_1664B_MCS5_US: f64 = 11_562.5;
+const SEED_TRANSMIT_1664B_MCS5_US: f64 = 395.4;
+const SEED_VITERBI_1000_BITS_R23_US: f64 = 616.3;
+const SEED_QUERY_ROUND_US: f64 = 50_140.5;
+
+/// Median-of-runs wall time for `f`, in nanoseconds per call.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    // One warm-up call gets scratch buffers and allocator pools to
+    // steady state so the measurement reflects the hot loop.
+    f();
+    let mut runs = [0f64; 5];
+    for slot in runs.iter_mut() {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *slot = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let quick = quick();
+    let (iters, rounds) = if quick { (2, 4) } else { (20, 100) };
+    let threads = witag_sim::available_threads();
+
+    // --- PHY kernel timings -------------------------------------------
+    let config = PhyConfig::new(Mcs::ht(5));
+    let psdu = vec![0x5Au8; 1664];
+    let ppdu = transmit(&config, &psdu);
+    let transmit_ns = time_ns(iters, || {
+        std::hint::black_box(transmit(&config, &psdu));
+    });
+    let receive_fresh_ns = time_ns(iters, || {
+        std::hint::black_box(receive(&ppdu, 1e-6));
+    });
+    let mut scratch = RxScratch::new();
+    let receive_scratch_ns = time_ns(iters, || {
+        std::hint::black_box(receive_with_scratch(&ppdu, 1e-6, &mut scratch));
+    });
+
+    let mut rng = Rng::seed_from_u64(1);
+    let n_bits = 4096;
+    let data: Vec<u8> = (0..n_bits).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let llrs = bits_to_llrs(&encode_stream(&data)[..2 * n_bits]);
+    let viterbi_ns = time_ns(iters, || {
+        std::hint::black_box(viterbi_decode_stream(&llrs, n_bits));
+    });
+
+    // --- End-to-end round throughput ----------------------------------
+    let mut cfg = ExperimentConfig::fig5(1.0, 99);
+    cfg.link.interference_rate_hz = 0.0;
+
+    let t0 = Instant::now();
+    let serial_stats = {
+        let mut exp = Experiment::new(cfg.clone()).expect("viable scenario");
+        exp.run(rounds)
+    };
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel_stats = Experiment::run_parallel(&cfg, None, rounds, threads)
+        .expect("viable scenario");
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    // A faulted parallel run exercises the per-shard fault re-seeding
+    // path so the gate covers it too.
+    let t0 = Instant::now();
+    let faulted_stats =
+        Experiment::run_parallel(&cfg, Some(&FaultPlan::hostile(7)), rounds, threads)
+            .expect("viable scenario");
+    let faulted_s = t0.elapsed().as_secs_f64();
+
+    let serial_per_s = serial_stats.rounds as f64 / serial_s.max(1e-9);
+    let parallel_per_s = parallel_stats.rounds as f64 / parallel_s.max(1e-9);
+    let json = format!(
+        "{{\n  \"schema\": \"witag-perf-gate-v1\",\n  \"quick\": {quick},\n  \"threads\": {threads},\n  \"phy\": {{\n    \"transmit_1664B_mcs5_ns\": {transmit_ns:.0},\n    \"receive_fresh_1664B_mcs5_ns\": {receive_fresh_ns:.0},\n    \"receive_scratch_1664B_mcs5_ns\": {receive_scratch_ns:.0},\n    \"viterbi_stream_4096_bits_ns\": {viterbi_ns:.0}\n  }},\n  \"round\": {{\n    \"rounds\": {rounds},\n    \"serial_rounds_per_s\": {serial_per_s:.2},\n    \"parallel_rounds_per_s\": {parallel_per_s:.2},\n    \"parallel_faulted_rounds_per_s\": {:.2},\n    \"parallel_speedup\": {:.2}\n  }},\n  \"seed_baseline_us\": {{\n    \"note\": \"criterion µs/iter at the pre-optimisation seed commit, same container\",\n    \"receive_1664B_mcs5\": {SEED_RECEIVE_1664B_MCS5_US},\n    \"transmit_1664B_mcs5\": {SEED_TRANSMIT_1664B_MCS5_US},\n    \"viterbi_decode_1000_bits_r23\": {SEED_VITERBI_1000_BITS_R23_US},\n    \"query_round_64_subframes\": {SEED_QUERY_ROUND_US}\n  }},\n  \"speedup_vs_seed\": {{\n    \"receive_chain\": {:.2},\n    \"transmit\": {:.2},\n    \"round_throughput_serial\": {:.2},\n    \"round_throughput_parallel\": {:.2}\n  }},\n  \"check\": {{\n    \"serial_ber\": {:.6},\n    \"parallel_ber\": {:.6},\n    \"parallel_shards\": {}\n  }}\n}}",
+        faulted_stats.rounds as f64 / faulted_s.max(1e-9),
+        serial_s / parallel_s.max(1e-9),
+        SEED_RECEIVE_1664B_MCS5_US * 1e3 / receive_scratch_ns,
+        SEED_TRANSMIT_1664B_MCS5_US * 1e3 / transmit_ns,
+        serial_per_s * SEED_QUERY_ROUND_US / 1e6,
+        parallel_per_s * SEED_QUERY_ROUND_US / 1e6,
+        serial_stats.ber(),
+        parallel_stats.ber(),
+        parallel_stats.window_bers.len(),
+    );
+
+    let out = std::env::var("WITAG_PERF_OUT").unwrap_or_else(|_| "BENCH_phy.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write perf JSON");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -36,8 +36,9 @@ use witag_mac::header::Addr;
 use witag_mac::{deaggregate, BlockAck, Security};
 use witag_phy::airtime::{block_ack_airtime, LegacyRate};
 use witag_phy::params::timing;
-use witag_phy::receiver::receive;
+use witag_phy::receiver::{receive_with_scratch, RxScratch};
 use witag_sim::geom::{Floorplan, Point2};
+use witag_sim::parallel::par_map;
 use witag_sim::stats::SampleSet;
 use witag_sim::time::{Duration, Instant};
 use witag_sim::Rng;
@@ -321,7 +322,28 @@ impl ExperimentStats {
             / self.elapsed.as_secs_f64()
             / 1000.0
     }
+
+    /// Fold another run's statistics into this one. Counters add, elapsed
+    /// time accumulates, and any per-window BER samples are concatenated —
+    /// the merge of two runs equals one run over the union of their
+    /// rounds. Used by the sharded parallel runner.
+    pub fn merge(&mut self, other: &ExperimentStats) {
+        self.rounds += other.rounds;
+        self.errors.merge(&other.errors);
+        self.elapsed += other.elapsed;
+        self.missed_triggers += other.missed_triggers;
+        self.lost_block_acks += other.lost_block_acks;
+        for &ber in other.window_bers.samples() {
+            self.window_bers.push(ber);
+        }
+    }
 }
+
+/// Rounds per shard of [`Experiment::run_parallel`]. Small enough that a
+/// typical sweep point (a few hundred rounds) splits into enough shards
+/// to occupy every core; large enough that per-shard setup (link
+/// construction, query design) stays well under the round work itself.
+pub const PARALLEL_SHARD_ROUNDS: usize = 25;
 
 /// A fully wired scenario ready to run rounds.
 pub struct Experiment {
@@ -351,6 +373,11 @@ pub struct Experiment {
     /// takes zero extra random draws: results are bit-identical to a
     /// build without the hook.
     faults: Option<FaultInjector>,
+    /// Reusable receive-chain working memory, shared by the forward
+    /// (HT A-MPDU) and reverse (legacy block-ACK) decodes. Keeping it
+    /// here makes every round after the first allocation-free in the
+    /// PHY hot path.
+    scratch: RxScratch,
 }
 
 impl Experiment {
@@ -423,6 +450,7 @@ impl Experiment {
             reverse_link,
             built,
             faults: None,
+            scratch: RxScratch::new(),
         })
     }
 
@@ -471,7 +499,7 @@ impl Experiment {
     /// Run one query round with the given tag bits (length must be
     /// `design.bits_per_query()`; shorter is padded with 1s by the tag).
     pub fn run_round(&mut self, bits: &[u8]) -> RoundResult {
-        let design = self.design.clone();
+        let design = &self.design;
         let profile = design.tag_profile();
 
         // -- 0. Fault verdict for this round. ---------------------------
@@ -595,7 +623,7 @@ impl Experiment {
             (None, true)
         } else {
             let rx = self.link.apply_ppdu(&self.built.ppdu, &schedule);
-            let decoded = receive(&rx, self.link.noise_var());
+            let decoded = receive_with_scratch(&rx, self.link.noise_var(), &mut self.scratch);
             let outcomes = deaggregate(&decoded.bytes);
 
             // Exercise the security path on surviving MPDUs: FCS-valid
@@ -633,8 +661,11 @@ impl Experiment {
             } else if self.cfg.model_ba_loss {
                 let tx = witag_phy::legacy::legacy_transmit(LegacyRate::M24, &ba.to_bytes());
                 let rx = self.reverse_link.apply_legacy(&tx, reference);
-                let bytes =
-                    witag_phy::legacy::legacy_receive(&rx, self.reverse_link.noise_var());
+                let bytes = witag_phy::legacy::legacy_receive_with_scratch(
+                    &rx,
+                    self.reverse_link.noise_var(),
+                    &mut self.scratch,
+                );
                 match BlockAck::from_bytes(&bytes) {
                     Some(rx_ba) => (Some(rx_ba), false),
                     // Natural decode failure: score against the true BA
@@ -721,6 +752,59 @@ impl Experiment {
             }
         }
         stats
+    }
+
+    /// Run `rounds` rounds split into independent shards executed on up
+    /// to `threads` worker threads, merging the shard statistics in
+    /// shard order.
+    ///
+    /// A round mutates shared state (link fading, tag clock, sequence
+    /// numbers), so the rounds of *one* experiment form a serial chain
+    /// that no scheduler may reorder. The parallel runner therefore
+    /// shards at the experiment level: each shard of
+    /// [`PARALLEL_SHARD_ROUNDS`] rounds is its own [`Experiment`] whose
+    /// seed is a pure function of `(cfg.seed, shard index)` — shard 7
+    /// computes the same rounds whether it runs first, last, or on
+    /// another machine. Statistically this models the paper's practice
+    /// of averaging many short measurement windows instead of one long
+    /// one; each shard contributes one BER sample to `window_bers`.
+    ///
+    /// **Determinism contract**: the returned statistics are bit-identical
+    /// for every `threads >= 1` (`tests/parallel_determinism.rs`). When a
+    /// `plan` is given, each shard re-seeds it from the same shard
+    /// stream, so fault schedules are thread-count invariant too.
+    pub fn run_parallel(
+        cfg: &ExperimentConfig,
+        plan: Option<&FaultPlan>,
+        rounds: usize,
+        threads: usize,
+    ) -> Result<ExperimentStats, ExperimentError> {
+        let n_shards = rounds.div_ceil(PARALLEL_SHARD_ROUNDS).max(1);
+        let shard_results = par_map(n_shards, threads, |shard| {
+            // Derive the shard's seed (and fault stream) from the master
+            // seed only — never from thread identity or completion order.
+            let mut stream = Rng::seed_from_u64(cfg.seed).fork(shard as u64);
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.seed = stream.next_u64();
+            let shard_rounds =
+                PARALLEL_SHARD_ROUNDS.min(rounds - (shard * PARALLEL_SHARD_ROUNDS).min(rounds));
+            let mut exp = Experiment::new(shard_cfg)?;
+            if let Some(p) = plan {
+                let mut shard_plan = p.clone();
+                shard_plan.seed = stream.next_u64();
+                exp.attach_faults(shard_plan);
+            }
+            Ok(exp.run(shard_rounds))
+        });
+        let mut total = ExperimentStats::default();
+        for r in shard_results {
+            let s = r?;
+            if s.rounds > 0 {
+                total.window_bers.push(s.ber());
+            }
+            total.merge(&s);
+        }
+        Ok(total)
     }
 
     /// Run `windows` measurement windows of `rounds_per_window` rounds

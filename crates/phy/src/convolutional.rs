@@ -38,6 +38,22 @@ fn branch_output(state: usize, input: u8) -> (u8, u8) {
     (parity(reg & G0), parity(reg & G1))
 }
 
+/// Precomputed branch-output table: `OUTPUT_CODE[reg]` for the 7-bit
+/// encoder register `reg = (state << 1) | input` gives the two coded bits
+/// packed as `(o0 << 1) | o1` — an index into the 4 per-step branch
+/// metrics. Replaces two `count_ones` parities per trellis edge.
+const OUTPUT_CODE: [u8; 2 * STATES] = {
+    let mut table = [0u8; 2 * STATES];
+    let mut reg = 0usize;
+    while reg < 2 * STATES {
+        let o0 = ((reg as u32 & G0).count_ones() & 1) as u8;
+        let o1 = ((reg as u32 & G1).count_ones() & 1) as u8;
+        table[reg] = (o0 << 1) | o1;
+        reg += 1;
+    }
+    table
+};
+
 /// Encode `data` at the mother rate 1/2, appending [`TAIL_BITS`] zeros to
 /// terminate the trellis. Output length is `2 * (data.len() + TAIL_BITS)`.
 pub fn encode(data: &[u8]) -> Vec<u8> {
@@ -67,14 +83,27 @@ fn puncture_pattern(rate: CodeRate) -> &'static [bool] {
     }
 }
 
-/// Drop coded bits according to the puncturing pattern for `rate`.
+/// Number of surviving (transmitted) positions the pattern keeps over a
+/// mother stream of `mother_len` bits.
+fn punctured_len(pattern: &[bool], mother_len: usize) -> usize {
+    let keep_per_period = pattern.iter().filter(|&&k| k).count();
+    let full = mother_len / pattern.len();
+    let rem = pattern[..mother_len % pattern.len()].iter().filter(|&&k| k).count();
+    full * keep_per_period + rem
+}
+
+/// Drop coded bits according to the puncturing pattern for `rate`. The
+/// output is reserved exactly (no growth reallocations on the TX hot
+/// path).
 pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
     let pattern = puncture_pattern(rate);
-    coded
-        .iter()
-        .zip(pattern.iter().cycle())
-        .filter_map(|(&b, &keep)| keep.then_some(b))
-        .collect()
+    let mut out = Vec::with_capacity(punctured_len(pattern, coded.len()));
+    for (&b, &keep) in coded.iter().zip(pattern.iter().cycle()) {
+        if keep {
+            out.push(b);
+        }
+    }
+    out
 }
 
 /// Re-insert erasures (`llr = 0`) at punctured positions, restoring a
@@ -84,8 +113,27 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Panics if `received` does not contain exactly the number of surviving
 /// positions the pattern dictates for `mother_len`.
 pub fn depuncture(received: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
-    let pattern = puncture_pattern(rate);
     let mut out = Vec::with_capacity(mother_len);
+    depuncture_into(received, rate, mother_len, &mut out);
+    out
+}
+
+/// [`depuncture`] into a caller-provided buffer (cleared first, reserved
+/// exactly). The receive chain reuses one buffer across calls so the
+/// steady state performs no allocation.
+///
+/// # Panics
+/// Same contract as [`depuncture`].
+pub fn depuncture_into(received: &[f64], rate: CodeRate, mother_len: usize, out: &mut Vec<f64>) {
+    let pattern = puncture_pattern(rate);
+    assert_eq!(
+        received.len(),
+        punctured_len(pattern, mother_len),
+        "received stream too {} for mother length",
+        if received.len() < punctured_len(pattern, mother_len) { "short" } else { "long" }
+    );
+    out.clear();
+    out.reserve(mother_len);
     let mut it = received.iter();
     for i in 0..mother_len {
         if pattern[i % pattern.len()] {
@@ -94,8 +142,6 @@ pub fn depuncture(received: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f6
             out.push(0.0);
         }
     }
-    assert!(it.next().is_none(), "received stream too long for mother length");
-    out
 }
 
 /// Number of transmitted coded bits for `info_bits` data bits at `rate`
@@ -110,72 +156,128 @@ pub fn coded_len(info_bits: usize, rate: CodeRate) -> usize {
     full * keep_per_period + rem_keep
 }
 
+const NEG_INF: f64 = f64::NEG_INFINITY;
+
+/// Reusable Viterbi working memory: ping-pong path-metric buffers plus
+/// bit-packed survivor storage (one `u64` per trellis step — bit `s` says
+/// whether state `s` was reached from its high predecessor). Hold one per
+/// long-lived decoder (e.g. inside a `RxScratch`) so steady-state decoding
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiScratch {
+    /// Path metrics entering the current step.
+    metrics: Vec<f64>,
+    /// Path metrics being built for the next step.
+    next: Vec<f64>,
+    /// One survivor word per step.
+    survivors: Vec<u64>,
+}
+
+/// Flat add-compare-select over all trellis steps. `terminated` selects
+/// the traceback start: state 0 for a terminated trellis (falling back to
+/// the best state when 0 is unreachable), the best-metric state otherwise.
+/// Decoded bits (one per step, tail included) land in `out`.
+///
+/// Bit-identical to the textbook per-edge formulation: branch metrics use
+/// the same additions in the same order, and ties keep the low
+/// predecessor / the last-scanned best end state, exactly as the original
+/// per-state scan did.
+fn viterbi_kernel(
+    llrs: &[f64],
+    n_steps: usize,
+    terminated: bool,
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) {
+    const HIGH: usize = STATES / 2;
+    scratch.metrics.clear();
+    scratch.metrics.resize(STATES, NEG_INF);
+    scratch.metrics[0] = 0.0; // encoder starts in state 0
+    scratch.next.clear();
+    scratch.next.resize(STATES, NEG_INF);
+    scratch.survivors.clear();
+    scratch.survivors.resize(n_steps, 0);
+
+    let mut metrics = core::mem::take(&mut scratch.metrics);
+    let mut next = core::mem::take(&mut scratch.next);
+    for (step, surv_word) in scratch.survivors.iter_mut().enumerate() {
+        let l0 = llrs[2 * step];
+        let l1 = llrs[2 * step + 1];
+        // The four possible branch metrics, indexed by (o0 << 1) | o1;
+        // `llr > 0` favours bit 0, so matching outputs are rewarded.
+        let bm = [l0 + l1, l0 - l1, -l0 + l1, -l0 - l1];
+        let mut surv = 0u64;
+        for ns in 0..STATES {
+            // Successor `ns` has exactly two predecessors: `ns >> 1`
+            // (register = ns) and `(ns >> 1) | HIGH` (register = ns | STATES).
+            let lo = metrics[ns >> 1] + bm[OUTPUT_CODE[ns] as usize];
+            let hi = metrics[(ns >> 1) | HIGH] + bm[OUTPUT_CODE[ns | STATES] as usize];
+            // Strict '>' keeps the low predecessor on ties, matching the
+            // ascending-state scan of the reference implementation.
+            if hi > lo {
+                next[ns] = hi;
+                surv |= 1u64 << ns;
+            } else {
+                next[ns] = lo;
+            }
+        }
+        *surv_word = surv;
+        core::mem::swap(&mut metrics, &mut next);
+    }
+    scratch.metrics = metrics;
+    scratch.next = next;
+
+    // Last-scanned best state, mirroring Iterator::max_by tie behaviour.
+    let mut best = NEG_INF;
+    let mut best_state = 0usize;
+    for (s, &m) in scratch.metrics.iter().enumerate() {
+        if m >= best {
+            best = m;
+            best_state = s;
+        }
+    }
+    let mut state = if terminated && scratch.metrics[0] > NEG_INF {
+        0usize
+    } else {
+        best_state
+    };
+
+    out.clear();
+    out.resize(n_steps, 0);
+    for step in (0..n_steps).rev() {
+        out[step] = (state & 1) as u8; // input bit is the successor's LSB
+        let from_high = (scratch.survivors[step] >> state) & 1;
+        state = (state >> 1) | ((from_high as usize) << (CONSTRAINT - 2));
+    }
+}
+
 /// Soft-decision Viterbi decode of a terminated mother-rate stream.
 ///
 /// `llrs.len()` must equal `2 * (info_bits + TAIL_BITS)`. Returns the
 /// `info_bits` decoded data bits (tail stripped).
-#[allow(clippy::needless_range_loop)] // state doubles as trellis index and value
 pub fn viterbi_decode(llrs: &[f64], info_bits: usize) -> Vec<u8> {
+    let mut scratch = ViterbiScratch::default();
+    let mut bits = Vec::new();
+    viterbi_decode_into(llrs, info_bits, &mut scratch, &mut bits);
+    bits
+}
+
+/// [`viterbi_decode`] with caller-provided scratch and output buffers
+/// (allocation-free once both are warm).
+pub fn viterbi_decode_into(
+    llrs: &[f64],
+    info_bits: usize,
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) {
     let total_steps = info_bits + TAIL_BITS;
     assert_eq!(
         llrs.len(),
         2 * total_steps,
         "LLR stream length must be 2*(info+tail)"
     );
-
-    const NEG_INF: f64 = f64::NEG_INFINITY;
-    let mut metrics = vec![NEG_INF; STATES];
-    metrics[0] = 0.0; // encoder starts in state 0
-    let mut next = vec![NEG_INF; STATES];
-    // decisions[step][state] = winning predecessor's input bit packed with
-    // the predecessor state: we store the predecessor state (u8) since the
-    // input bit is recoverable as (state >> 0) LSB of the *successor*.
-    let mut decisions = vec![0u8; total_steps * STATES];
-
-    for step in 0..total_steps {
-        let l0 = llrs[2 * step];
-        let l1 = llrs[2 * step + 1];
-        next.fill(NEG_INF);
-        for state in 0..STATES {
-            let m = metrics[state];
-            if m == NEG_INF {
-                continue;
-            }
-            for input in 0..2u8 {
-                let (o0, o1) = branch_output(state, input);
-                // llr > 0 favours bit 0: reward matching the hypothesis.
-                let bm = (if o0 == 0 { l0 } else { -l0 }) + (if o1 == 0 { l1 } else { -l1 });
-                let ns = ((state << 1) | input as usize) & (STATES - 1);
-                let cand = m + bm;
-                if cand > next[ns] {
-                    next[ns] = cand;
-                    decisions[step * STATES + ns] = state as u8;
-                }
-            }
-        }
-        core::mem::swap(&mut metrics, &mut next);
-    }
-
-    // Terminated trellis: end in state 0 (fall back to the best state if 0
-    // is unreachable, which can only happen with a truncated stream).
-    let mut state = if metrics[0] > NEG_INF {
-        0usize
-    } else {
-        metrics
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(s, _)| s)
-            .unwrap_or(0)
-    };
-
-    let mut bits = vec![0u8; total_steps];
-    for step in (0..total_steps).rev() {
-        bits[step] = (state & 1) as u8; // input bit is successor's LSB
-        state = decisions[step * STATES + state] as usize;
-    }
-    bits.truncate(info_bits);
-    bits
+    viterbi_kernel(llrs, total_steps, true, scratch, out);
+    out.truncate(info_bits);
 }
 
 /// Encode a bit stream at the mother rate 1/2 **without** appending tail
@@ -198,50 +300,24 @@ pub fn encode_stream(bits: &[u8]) -> Vec<u8> {
 /// Soft-decision Viterbi decode of an *unterminated* mother-rate stream of
 /// `n_bits` information bits (`llrs.len() == 2 * n_bits`). Traceback starts
 /// from the best-metric final state.
-#[allow(clippy::needless_range_loop)] // state doubles as trellis index and value
 pub fn viterbi_decode_stream(llrs: &[f64], n_bits: usize) -> Vec<u8> {
-    assert_eq!(llrs.len(), 2 * n_bits, "LLR stream length must be 2*n_bits");
-    const NEG_INF: f64 = f64::NEG_INFINITY;
-    let mut metrics = vec![NEG_INF; STATES];
-    metrics[0] = 0.0;
-    let mut next = vec![NEG_INF; STATES];
-    let mut decisions = vec![0u8; n_bits * STATES];
-
-    for step in 0..n_bits {
-        let l0 = llrs[2 * step];
-        let l1 = llrs[2 * step + 1];
-        next.fill(NEG_INF);
-        for state in 0..STATES {
-            let m = metrics[state];
-            if m == NEG_INF {
-                continue;
-            }
-            for input in 0..2u8 {
-                let (o0, o1) = branch_output(state, input);
-                let bm = (if o0 == 0 { l0 } else { -l0 }) + (if o1 == 0 { l1 } else { -l1 });
-                let ns = ((state << 1) | input as usize) & (STATES - 1);
-                let cand = m + bm;
-                if cand > next[ns] {
-                    next[ns] = cand;
-                    decisions[step * STATES + ns] = state as u8;
-                }
-            }
-        }
-        core::mem::swap(&mut metrics, &mut next);
-    }
-
-    let mut state = metrics
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(s, _)| s)
-        .unwrap_or(0);
-    let mut bits = vec![0u8; n_bits];
-    for step in (0..n_bits).rev() {
-        bits[step] = (state & 1) as u8;
-        state = decisions[step * STATES + state] as usize;
-    }
+    let mut scratch = ViterbiScratch::default();
+    let mut bits = Vec::new();
+    viterbi_decode_stream_into(llrs, n_bits, &mut scratch, &mut bits);
     bits
+}
+
+/// [`viterbi_decode_stream`] with caller-provided scratch and output
+/// buffers (allocation-free once both are warm). This is the form the
+/// receive chain uses every round.
+pub fn viterbi_decode_stream_into(
+    llrs: &[f64],
+    n_bits: usize,
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) {
+    assert_eq!(llrs.len(), 2 * n_bits, "LLR stream length must be 2*n_bits");
+    viterbi_kernel(llrs, n_bits, false, scratch, out);
 }
 
 /// Convenience: encode + puncture in one call.

@@ -75,28 +75,69 @@ fn permutation(d: InterleaverDims) -> Vec<usize> {
         .collect()
 }
 
+/// A precomputed interleaver permutation for one set of dimensions.
+///
+/// Computing the permutation involves a division per bit position, which
+/// the seed implementation repeated for every OFDM symbol. Building it
+/// once (e.g. inside a receive scratch) and reusing it across symbols
+/// removes that cost and the per-symbol table allocation.
+#[derive(Debug, Clone)]
+pub struct InterleaverPerm {
+    dims: InterleaverDims,
+    perm: Vec<usize>,
+}
+
+impl InterleaverPerm {
+    /// Precompute the permutation table for `dims`.
+    pub fn new(dims: InterleaverDims) -> Self {
+        InterleaverPerm {
+            dims,
+            perm: permutation(dims),
+        }
+    }
+
+    /// The dimensions this table was built for.
+    pub fn dims(&self) -> InterleaverDims {
+        self.dims
+    }
+
+    /// [`interleave`] using the cached table, writing into `out`
+    /// (cleared and resized first).
+    pub fn interleave_into<T: Copy + Default>(&self, items: &[T], out: &mut Vec<T>) {
+        assert_eq!(items.len(), self.dims.n_cbps, "one full symbol at a time");
+        out.clear();
+        out.resize(self.dims.n_cbps, T::default());
+        for (k, &p) in self.perm.iter().enumerate() {
+            out[p] = items[k];
+        }
+    }
+
+    /// [`deinterleave`] using the cached table, writing into `out`
+    /// (cleared and resized first).
+    pub fn deinterleave_into<T: Copy + Default>(&self, items: &[T], out: &mut Vec<T>) {
+        assert_eq!(items.len(), self.dims.n_cbps, "one full symbol at a time");
+        out.clear();
+        out.reserve(self.dims.n_cbps);
+        for &p in self.perm.iter() {
+            out.push(items[p]);
+        }
+    }
+}
+
 /// Interleave one symbol's worth of items (bits at TX).
 ///
 /// # Panics
 /// Panics if `items.len() != d.n_cbps`.
 pub fn interleave<T: Copy + Default>(items: &[T], d: InterleaverDims) -> Vec<T> {
-    assert_eq!(items.len(), d.n_cbps, "one full symbol at a time");
-    let perm = permutation(d);
-    let mut out = vec![T::default(); d.n_cbps];
-    for (k, &p) in perm.iter().enumerate() {
-        out[p] = items[k];
-    }
+    let mut out = Vec::new();
+    InterleaverPerm::new(d).interleave_into(items, &mut out);
     out
 }
 
 /// Inverse of [`interleave`] (LLRs at RX).
 pub fn deinterleave<T: Copy + Default>(items: &[T], d: InterleaverDims) -> Vec<T> {
-    assert_eq!(items.len(), d.n_cbps, "one full symbol at a time");
-    let perm = permutation(d);
-    let mut out = vec![T::default(); d.n_cbps];
-    for (k, &p) in perm.iter().enumerate() {
-        out[k] = items[p];
-    }
+    let mut out = Vec::new();
+    InterleaverPerm::new(d).deinterleave_into(items, &mut out);
     out
 }
 

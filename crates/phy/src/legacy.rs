@@ -12,12 +12,13 @@
 //! dimensions.
 
 use crate::complex::Complex64;
-use crate::convolutional::{depuncture, encode_stream, puncture, viterbi_decode_stream};
-use crate::interleaver::{deinterleave, interleave, InterleaverDims};
+use crate::convolutional::{encode_stream, puncture};
+use crate::interleaver::{interleave, InterleaverDims};
 use crate::mcs::{CodeRate, Modulation};
-use crate::modulation::{demodulate_llr, modulate};
+use crate::modulation::modulate;
 use crate::params::timing;
-use crate::ppdu::{bits_to_bytes, bytes_to_bits, pilot_values, OfdmSymbol};
+use crate::ppdu::{bytes_to_bits, pilot_values, OfdmSymbol};
+use crate::receiver::RxScratch;
 use crate::scrambler::Scrambler;
 use witag_sim::time::Duration;
 
@@ -176,29 +177,54 @@ pub fn legacy_transmit(rate: LegacyRate, psdu: &[u8]) -> LegacyPpdu {
 
 /// Receive a legacy PPDU: estimate from the LTF, equalise, decode.
 pub fn legacy_receive(rx: &LegacyPpdu, noise_var: f64) -> Vec<u8> {
+    legacy_receive_with_scratch(rx, noise_var, &mut RxScratch::new())
+}
+
+/// [`legacy_receive`] with caller-provided working memory — same contract
+/// as [`crate::receiver::receive_with_scratch`] (bit-identical results,
+/// allocation-free steady state). An experiment shares one scratch
+/// between the HT data chain and this legacy block-ACK chain; the
+/// interleaver-permutation cache keeps both dimension sets warm.
+pub fn legacy_receive_with_scratch(
+    rx: &LegacyPpdu,
+    noise_var: f64,
+    scratch: &mut RxScratch,
+) -> Vec<u8> {
+    use crate::convolutional::{depuncture_into, viterbi_decode_stream_into};
+    use crate::modulation::demodulate_llr_into;
+    use crate::ppdu::bits_to_bytes;
+
     let layout = LegacyLayout::new();
     let ndbps = rx.rate.ndbps();
     let n_bpscs = rx.rate.modulation().bits_per_subcarrier();
     let dims = InterleaverDims::legacy(n_bpscs);
     let h = &rx.ltf.streams[0];
 
-    let mut coded_llrs = Vec::with_capacity(rx.symbols.len() * dims.n_cbps);
+    let perm = RxScratch::perm(&mut scratch.perms, dims);
+    let coded_llrs = &mut scratch.coded_llrs;
+    let llrs_tx = &mut scratch.llrs_tx;
+    scratch.per_stream.resize_with(scratch.per_stream.len().max(1), Vec::new);
+    let code_order = &mut scratch.per_stream[0];
+    coded_llrs.clear();
+    coded_llrs.reserve(rx.symbols.len() * dims.n_cbps);
     for sym in &rx.symbols {
         let raw = &sym.streams[0];
-        let mut llrs_tx = Vec::with_capacity(dims.n_cbps);
+        llrs_tx.clear();
+        llrs_tx.reserve(dims.n_cbps);
         for &pos in layout.data_positions() {
             let eq = raw[pos] / h[pos];
             let eff_noise = noise_var / h[pos].norm_sqr().max(1e-9);
-            llrs_tx.extend_from_slice(&demodulate_llr(&[eq], rx.rate.modulation(), eff_noise));
+            demodulate_llr_into(&[eq], rx.rate.modulation(), eff_noise, llrs_tx);
         }
-        coded_llrs.extend(deinterleave(&llrs_tx, dims));
+        perm.deinterleave_into(llrs_tx, code_order);
+        coded_llrs.extend_from_slice(code_order);
     }
 
     let n_total = rx.symbols.len() * ndbps;
-    let soft = depuncture(&coded_llrs, rx.rate.code_rate(), 2 * n_total);
-    let mut bits = viterbi_decode_stream(&soft, n_total);
-    Scrambler::new(SCRAMBLER_SEED).apply(&mut bits);
-    bits_to_bytes(&bits[16..16 + 8 * rx.psdu_len])
+    depuncture_into(coded_llrs, rx.rate.code_rate(), 2 * n_total, &mut scratch.soft);
+    viterbi_decode_stream_into(&scratch.soft, n_total, &mut scratch.viterbi, &mut scratch.bits);
+    Scrambler::new(SCRAMBLER_SEED).apply(&mut scratch.bits);
+    bits_to_bytes(&scratch.bits[16..16 + 8 * rx.psdu_len])
 }
 
 #[cfg(test)]

@@ -44,5 +44,5 @@ pub use complex::{c64, Complex64};
 pub use mcs::{CodeRate, Mcs, Modulation};
 pub use params::{Bandwidth, GuardInterval, SubcarrierLayout, MAX_AMPDU_SUBFRAMES};
 pub use ppdu::{transmit, OfdmSymbol, PhyConfig, Ppdu};
-pub use legacy::{legacy_receive, legacy_transmit, LegacyLayout, LegacyPpdu};
-pub use receiver::{receive, ChannelEstimate, DecodedPsdu};
+pub use legacy::{legacy_receive, legacy_receive_with_scratch, legacy_transmit, LegacyLayout, LegacyPpdu};
+pub use receiver::{receive, receive_with_scratch, ChannelEstimate, DecodedPsdu, RxScratch};

@@ -75,11 +75,13 @@ pub fn modulate(bits: &[u8], m: Modulation) -> Vec<Complex64> {
 /// `y` is the received coordinate (already divided by K_MOD), `sigma2`
 /// the per-axis noise variance in the same scale.
 fn axis_llrs(y: f64, k: usize, sigma2: f64, out: &mut Vec<f64>) {
+    debug_assert!(k <= 4, "axis carries at most 4 bits (256-QAM)");
     let n_levels = 1usize << k;
     // Distances to each level, indexed by the Gray-coded bit pattern.
-    // For small k (≤4) brute force over levels is cheap and exact.
-    let mut min0 = vec![f64::INFINITY; k];
-    let mut min1 = vec![f64::INFINITY; k];
+    // For small k (≤4) brute force over levels is cheap and exact; fixed
+    // arrays keep the per-subcarrier hot path allocation-free.
+    let mut min0 = [f64::INFINITY; 4];
+    let mut min1 = [f64::INFINITY; 4];
     for index in 0..n_levels {
         let level = (2.0 * index as f64) - (n_levels as f64 - 1.0);
         let d2 = (y - level) * (y - level);
@@ -106,22 +108,36 @@ fn axis_llrs(y: f64, k: usize, sigma2: f64, out: &mut Vec<f64>) {
 /// `noise_var` is the post-equalisation complex noise variance (E|n|²)
 /// relative to unit symbol power. Per-axis variance is half of it.
 pub fn demodulate_llr(symbols: &[Complex64], m: Modulation, noise_var: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(symbols.len() * m.bits_per_subcarrier());
+    demodulate_llr_into(symbols, m, noise_var, &mut out);
+    out
+}
+
+/// [`demodulate_llr`] appending into a caller-provided buffer instead of
+/// returning a fresh `Vec`. The receive chain calls this once per data
+/// subcarrier, so buffer reuse removes the dominant allocation source of
+/// the whole RX hot path. LLRs are *appended* — callers clear when they
+/// need a fresh symbol's worth.
+pub fn demodulate_llr_into(
+    symbols: &[Complex64],
+    m: Modulation,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
     let k = k_mod(m);
     let ab = axis_bits(m);
     // Work in unnormalised axis coordinates: y' = y / K_MOD, so noise
     // variance scales by 1/K_MOD² as well.
     let sigma2_axis = (noise_var / 2.0) / (k * k);
-    let mut out = Vec::with_capacity(symbols.len() * m.bits_per_subcarrier());
     for &s in symbols {
         match m {
-            Modulation::Bpsk => axis_llrs(s.re / k, 1, sigma2_axis * 2.0, &mut out),
+            Modulation::Bpsk => axis_llrs(s.re / k, 1, sigma2_axis * 2.0, out),
             _ => {
-                axis_llrs(s.re / k, ab, sigma2_axis, &mut out);
-                axis_llrs(s.im / k, ab, sigma2_axis, &mut out);
+                axis_llrs(s.re / k, ab, sigma2_axis, out);
+                axis_llrs(s.im / k, ab, sigma2_axis, out);
             }
         }
     }
-    out
 }
 
 /// Hard-decision demap (sign of the LLRs with unit noise).

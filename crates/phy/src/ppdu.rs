@@ -214,20 +214,30 @@ pub fn parse_streams(coded: &[u8], nss: usize, n_bpscs: usize) -> Vec<Vec<u8>> {
 
 /// Inverse of [`parse_streams`] for receiver-side soft values.
 pub fn deparse_streams(streams: &[Vec<f64>], n_bpscs: usize) -> Vec<f64> {
+    let total: usize = streams.iter().map(|v| v.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    deparse_streams_into(streams, n_bpscs, &mut out);
+    out
+}
+
+/// [`deparse_streams`] appending into a caller-provided buffer (the
+/// receive chain accumulates every symbol's coded LLRs into one stream).
+pub fn deparse_streams_into(streams: &[Vec<f64>], n_bpscs: usize, out: &mut Vec<f64>) {
     let s = (n_bpscs / 2).max(1);
     let nss = streams.len();
     let total: usize = streams.iter().map(|v| v.len()).sum();
-    let mut out = Vec::with_capacity(total);
-    let mut cursors = vec![0usize; nss];
+    out.reserve(total);
+    let target = out.len() + total;
+    let mut cursors = [0usize; 4]; // ≤ 4 spatial streams (802.11n/ac)
+    assert!(nss <= 4, "at most 4 spatial streams");
     let mut stream_idx = 0usize;
-    while out.len() < total {
+    while out.len() < target {
         let c = cursors[stream_idx];
         let take = s.min(streams[stream_idx].len() - c);
         out.extend_from_slice(&streams[stream_idx][c..c + take]);
         cursors[stream_idx] += take;
         stream_idx = (stream_idx + 1) % nss;
     }
-    out
 }
 
 /// Build the scrambled, tail-zeroed DATA-field bit stream for a PSDU.

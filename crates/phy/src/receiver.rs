@@ -18,26 +18,30 @@
 //! commodity NICs cannot decode tag-corrupted subframes.
 
 use crate::complex::Complex64;
-use crate::convolutional::{depuncture, viterbi_decode_stream};
-use crate::interleaver::{deinterleave, InterleaverDims};
-use crate::modulation::demodulate_llr;
-use crate::ppdu::{bits_to_bytes, deparse_streams, pilot_values, OfdmSymbol, Ppdu};
+use crate::convolutional::{depuncture_into, viterbi_decode_stream_into, ViterbiScratch};
+use crate::interleaver::{InterleaverDims, InterleaverPerm};
+use crate::modulation::demodulate_llr_into;
+use crate::ppdu::{bits_to_bytes, deparse_streams_into, pilot_values, OfdmSymbol, Ppdu};
 use crate::scrambler::Scrambler;
 
-/// Per-stream, per-subcarrier channel estimate (CSI).
-#[derive(Debug, Clone)]
-pub struct ChannelEstimate {
+/// Per-stream, per-subcarrier channel estimate (CSI), borrowing the
+/// received LTF it was estimated from. The transmitted LTF is all-ones on
+/// every occupied subcarrier, so the received LTF *is* the estimate — the
+/// seed implementation cloned the full per-stream table every call for
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelEstimate<'a> {
     /// `h[ss][pos]` — estimated coefficient for stream `ss`, storage
     /// position `pos`.
-    pub h: Vec<Vec<Complex64>>,
+    pub h: &'a [Vec<Complex64>],
 }
 
-impl ChannelEstimate {
+impl<'a> ChannelEstimate<'a> {
     /// Estimate CSI from the received LTF (transmitted LTF is all-ones on
     /// every occupied subcarrier).
-    pub fn from_ltf(rx_ltf: &OfdmSymbol) -> Self {
+    pub fn from_ltf(rx_ltf: &'a OfdmSymbol) -> Self {
         ChannelEstimate {
-            h: rx_ltf.streams.clone(),
+            h: &rx_ltf.streams,
         }
     }
 
@@ -45,7 +49,7 @@ impl ChannelEstimate {
     pub fn mean_magnitude(&self) -> f64 {
         let mut total = 0.0;
         let mut n = 0usize;
-        for stream in &self.h {
+        for stream in self.h {
             for c in stream {
                 total += c.abs();
                 n += 1;
@@ -56,6 +60,63 @@ impl ChannelEstimate {
         } else {
             total / n as f64
         }
+    }
+}
+
+/// Reusable working memory for the receive chain.
+///
+/// One `RxScratch` threaded through [`receive_with_scratch`] (and the
+/// legacy [`crate::legacy::legacy_receive_with_scratch`]) makes the whole
+/// RX hot path allocation-free in steady state: every intermediate buffer
+/// — transmit-order LLRs, per-stream deinterleaved LLRs, the coded
+/// stream, the depunctured mother stream, decoded bits, Viterbi path
+/// metrics and survivors, cached interleaver permutations and pilot
+/// patterns — is owned here and reused across calls.
+#[derive(Debug, Default)]
+pub struct RxScratch {
+    /// Cached interleaver permutations, one per dimension set seen (an
+    /// experiment alternates HT data frames and legacy block ACKs, so
+    /// several sets stay warm at once).
+    pub(crate) perms: Vec<InterleaverPerm>,
+    /// Cached pilot patterns keyed by pilot count.
+    pub(crate) pilots: Vec<Vec<Complex64>>,
+    /// One stream's LLRs in transmit (subcarrier) order.
+    pub(crate) llrs_tx: Vec<f64>,
+    /// Per-stream deinterleaved (code-order) LLRs.
+    pub(crate) per_stream: Vec<Vec<f64>>,
+    /// The whole DATA field's coded LLR stream.
+    pub(crate) coded_llrs: Vec<f64>,
+    /// Depunctured mother-rate soft stream.
+    pub(crate) soft: Vec<f64>,
+    /// Decoded (still scrambled, then descrambled in place) bits.
+    pub(crate) bits: Vec<u8>,
+    /// Viterbi path-metric and survivor storage.
+    pub(crate) viterbi: ViterbiScratch,
+}
+
+impl RxScratch {
+    /// Fresh, empty scratch. Buffers grow to steady-state sizes on the
+    /// first call that uses them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached permutation for `dims`, building it on first sight.
+    pub(crate) fn perm(perms: &mut Vec<InterleaverPerm>, dims: InterleaverDims) -> &InterleaverPerm {
+        if let Some(i) = perms.iter().position(|p| p.dims() == dims) {
+            return &perms[i];
+        }
+        perms.push(InterleaverPerm::new(dims));
+        perms.last().expect("just pushed")
+    }
+
+    /// Cached pilot pattern for `n_pilots` pilot tones.
+    pub(crate) fn pilot_pattern(pilots: &mut Vec<Vec<Complex64>>, n_pilots: usize) -> &[Complex64] {
+        if let Some(i) = pilots.iter().position(|p| p.len() == n_pilots) {
+            return &pilots[i];
+        }
+        pilots.push(pilot_values(n_pilots));
+        pilots.last().expect("just pushed")
     }
 }
 
@@ -80,21 +141,42 @@ pub struct DecodedPsdu {
 /// the true value removes an estimation error source that is orthogonal to
 /// what the reproduction studies.
 pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
+    receive_with_scratch(rx, noise_var, &mut RxScratch::new())
+}
+
+/// [`receive`] with caller-provided working memory: once `scratch` is
+/// warm, the chain performs no intermediate allocation (only the returned
+/// `DecodedPsdu`'s two output vectors are freshly allocated). Results are
+/// bit-identical to [`receive`].
+pub fn receive_with_scratch(rx: &Ppdu, noise_var: f64, scratch: &mut RxScratch) -> DecodedPsdu {
     let config = &rx.config;
     let layout = config.layout();
     let nss = config.mcs.spatial_streams;
     let n_bpscs = config.mcs.modulation.bits_per_subcarrier();
     let dims = InterleaverDims::ht(config.bandwidth, n_bpscs);
     let est = ChannelEstimate::from_ltf(&rx.ltf);
-    let pilots = pilot_values(layout.pilot_positions().len());
 
-    let mut coded_llrs: Vec<f64> = Vec::with_capacity(rx.symbols.len() * config.ncbps());
+    let RxScratch {
+        perms,
+        pilots,
+        llrs_tx,
+        per_stream,
+        coded_llrs,
+        soft,
+        bits,
+        viterbi,
+    } = scratch;
+    let perm = RxScratch::perm(perms, dims);
+    let pilots = RxScratch::pilot_pattern(pilots, layout.pilot_positions().len());
+    per_stream.resize_with(per_stream.len().max(nss), Vec::new);
+
+    coded_llrs.clear();
+    coded_llrs.reserve(rx.symbols.len() * config.ncbps());
     let mut symbol_quality = Vec::with_capacity(rx.symbols.len());
 
     for sym in &rx.symbols {
-        let mut per_stream: Vec<Vec<f64>> = Vec::with_capacity(nss);
         let mut qual_acc = 0.0;
-        for ss in 0..nss {
+        for (ss, code_order) in per_stream.iter_mut().enumerate().take(nss) {
             let h = &est.h[ss];
             let raw = &sym.streams[ss];
 
@@ -111,33 +193,32 @@ pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
             };
 
             // Zero-forcing equalisation with per-subcarrier noise scaling.
-            let mut llrs_tx_order: Vec<f64> =
-                Vec::with_capacity(layout.data_positions().len() * n_bpscs);
+            llrs_tx.clear();
+            llrs_tx.reserve(layout.data_positions().len() * n_bpscs);
             for &pos in layout.data_positions() {
                 let eq = raw[pos] * cpe / h[pos];
                 // ZF noise enhancement: variance grows as 1/|h|².
                 let eff_noise = noise_var / h[pos].norm_sqr().max(1e-9);
-                let llrs = demodulate_llr(&[eq], config.mcs.modulation, eff_noise);
-                llrs_tx_order.extend_from_slice(&llrs);
+                demodulate_llr_into(&[eq], config.mcs.modulation, eff_noise, llrs_tx);
             }
-            qual_acc += llrs_tx_order.iter().map(|l| l.abs()).sum::<f64>()
-                / llrs_tx_order.len() as f64;
-            per_stream.push(deinterleave(&llrs_tx_order, dims));
+            qual_acc +=
+                llrs_tx.iter().map(|l| l.abs()).sum::<f64>() / llrs_tx.len() as f64;
+            perm.deinterleave_into(llrs_tx, code_order);
         }
         symbol_quality.push(qual_acc / nss as f64);
-        coded_llrs.extend(deparse_streams(&per_stream, n_bpscs));
+        deparse_streams_into(&per_stream[..nss], n_bpscs, coded_llrs);
     }
 
     // Decode the whole DATA field as one stream.
     let n_sym = rx.symbols.len();
     let n_total = n_sym * config.ndbps();
     let mother_len = 2 * n_total;
-    let soft = depuncture(&coded_llrs, config.mcs.code_rate, mother_len);
-    let mut bits = viterbi_decode_stream(&soft, n_total);
+    depuncture_into(coded_llrs, config.mcs.code_rate, mother_len, soft);
+    viterbi_decode_stream_into(soft, n_total, viterbi, bits);
 
     // Descramble and extract the PSDU.
     let mut scrambler = Scrambler::new(config.scrambler_seed);
-    scrambler.apply(&mut bits);
+    scrambler.apply(bits);
     let psdu_bits = &bits[16..16 + 8 * rx.psdu_len];
     DecodedPsdu {
         bytes: bits_to_bytes(psdu_bits),

@@ -26,11 +26,13 @@
 
 pub mod event;
 pub mod geom;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use parallel::{available_threads, par_map};
 pub use geom::{Floorplan, Material, Obstacle, Point2, Segment};
 pub use rng::Rng;
 pub use stats::{wilson_interval_95, Cdf, Histogram, RunningStats, SampleSet};

@@ -1,0 +1,117 @@
+//! Deterministic fork-join parallelism over indexed work items.
+//!
+//! The simulation's parallel surfaces (sweep points, experiment shards)
+//! are all "N independent jobs, each fully determined by its index". This
+//! module provides [`par_map`]: run `f(0..n)` on a bounded worker pool
+//! built from `std::thread::scope` and return results **in index order**,
+//! regardless of which worker finished first or how the OS scheduled
+//! them. Because each job derives everything (RNG streams included) from
+//! its index, the output is bit-identical for any thread count — the
+//! determinism contract the experiment harness tests enforce.
+//!
+//! No work-stealing library, no channels: workers pull the next index
+//! from a shared atomic counter and write into their own slot of a
+//! pre-sized result vector (each worker collects `(index, value)` pairs;
+//! the join re-assembles by index). This keeps the implementation inside
+//! the standard library, per the repo's no-new-dependencies rule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, clamped to at least 1. Falls back to 1 when the OS
+/// cannot report a value (sandboxed environments).
+pub fn available_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` on up to `threads` workers, returning results in
+/// index order.
+///
+/// Determinism contract: `par_map(n, t, f)` returns the same vector for
+/// every `t >= 1` **provided** `f` is a pure function of its index (no
+/// shared mutable state, no ambient RNG). With `threads <= 1` or `n <= 1`
+/// the work runs inline on the calling thread with no pool at all, so
+/// the single-threaded path is trivially identical to a plain loop.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let counter = AtomicUsize::new(0);
+    let f = &f;
+    let counter = &counter;
+
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            collected.extend(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map(100, 4, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        // Each job derives its own RNG stream from its index — the model
+        // for how experiment shards stay deterministic.
+        let job = |i: usize| {
+            let mut rng = Rng::seed_from_u64(0xDEAD_BEEF ^ i as u64);
+            (0..32).fold(0u64, |acc, _| acc.wrapping_add(rng.next_u64()))
+        };
+        let serial = par_map(17, 1, job);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(par_map(17, threads, job), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 4, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        assert_eq!(par_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}
