@@ -7,6 +7,12 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Static-assurance gate: witag-lint walks every workspace source file and
+# fails (nonzero exit) on any determinism / panic-freedom / no_alloc /
+# hygiene finding. The JSON artifact is validated like the perf report.
+cargo run -q --release -p witag-lint -- --json LINT_report.json
+python3 -c "import json; r = json.load(open('LINT_report.json')); assert r['findings'] == [], r['findings']"
+
 # Perf gate smoke: run the baseline binary in quick mode (tiny iteration
 # counts, same code paths) and assert it emits parseable JSON. Thresholds
 # are judged by humans against EXPERIMENTS.md § "PERF GATE", not here.

@@ -18,7 +18,6 @@
 //!   channel-shifting tags (INTF experiment).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod dsss;
 pub mod interference;

@@ -23,7 +23,6 @@
 //! Criterion micro-benchmarks for the hot paths live under `benches/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 /// Number of query rounds per measurement point, from `WITAG_ROUNDS`
 /// (falls back to `default`). A round carries 62 tag bits.

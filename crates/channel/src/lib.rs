@@ -18,7 +18,6 @@
 //! U-shaped BER curve.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod link;
 pub mod pathloss;

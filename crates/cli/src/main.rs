@@ -15,6 +15,8 @@
 //!
 //! Every subcommand prints a deterministic result for a given `--seed`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use args::{ArgError, Args};

@@ -568,9 +568,12 @@ impl Experiment {
         // -- 2. Build (or reuse) the query and let the tag plan. --------
         // Rebuild the query each round so sequence numbers and CCMP PNs
         // advance like a real sender's.
+        // Structurally infallible: `Experiment::new` builds this exact
+        // query once and fails construction if the geometry is invalid;
+        // only the sequence number varies between rounds.
         self.built = design
             .build_query(Addr::local(1), Addr::local(2), &mut self.tx_sec, self.seq)
-            .expect("query geometry was validated at construction");
+            .expect("query geometry was validated at construction"); // lint:allow(panic_freedom)
         let ppdu_airtime = self.built.ppdu.airtime();
         trace.push(ppdu_start, ppdu_start + ppdu_airtime, incident);
 

@@ -728,11 +728,14 @@ impl SessionClient {
             .is_some_and(|n| (0..n).all(|abs| self.have(abs)))
     }
 
+    // Structurally infallible: the sole caller gates on `complete()`,
+    // which requires the header (chunk 0) and every chunk through
+    // `n_chunks` to be present.
     fn assemble(&self) -> SessionOutcome {
-        let (len, hcrc) = self.header.expect("complete() implies header");
-        let n = self.n_chunks.expect("complete() implies chunk count");
+        let (len, hcrc) = self.header.expect("complete() implies header"); // lint:allow(panic_freedom)
+        let n = self.n_chunks.expect("complete() implies chunk count"); // lint:allow(panic_freedom)
         let bits: Vec<u8> = (1..n)
-            .flat_map(|abs| self.got[abs].as_ref().expect("complete").iter().copied())
+            .flat_map(|abs| self.got[abs].as_ref().expect("complete").iter().copied()) // lint:allow(panic_freedom)
             .collect();
         let bytes: Vec<u8> = bits
             .chunks(8)
@@ -1096,8 +1099,11 @@ where
                 }
                 match decoded {
                     Some((seq, payload)) => {
+                        // Structurally infallible: `decoded` is only Some
+                        // when the control decode already ran
+                        // `parse_base_report` successfully on this payload.
                         let base = parse_base_report(seq, &payload)
-                            .expect("validated as a base report above");
+                            .expect("validated as a base report above"); // lint:allow(panic_freedom)
                         client.base = base;
                         client.pending_resync = false;
                         client.consecutive_losses = 0;

@@ -32,7 +32,6 @@
 //!   drives through the Fresnel zone), accelerating fading.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use witag_sim::Rng;
 

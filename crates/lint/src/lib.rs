@@ -1,0 +1,179 @@
+//! `witag-lint` — the workspace invariant linter.
+//!
+//! The WiTAG reproduction's value rests on invariants nothing in `rustc`
+//! checks mechanically: experiments are bit-for-bit deterministic for a
+//! given seed (PR 1's fault plans, PR 2's thread-count-invariant sweeps),
+//! library code never panics mid-round, and the receive chain stays
+//! allocation-free in steady state. One careless `std::time::Instant`, an
+//! `unwrap()` on a fallible decode, or a `collect()` slipped into the
+//! Viterbi kernel silently breaks all of that.
+//!
+//! This crate is a from-scratch, std-only static-analysis pass (the build
+//! environment is offline — no `syn`, no `clippy-utils`): a small real
+//! lexer ([`lexer`]) feeds a brace/item tracker ([`scan`]) that can
+//! attribute findings to crate → module → function and recognise
+//! `#[cfg(test)]` / `mod tests` regions, and the rule passes ([`rules`])
+//! run on top. Escape hatch: `// lint:allow(<rule>)` suppresses one line
+//! and documents *why*; `// lint:no_alloc` marks a function whose body
+//! must stay free of allocation tokens.
+//!
+//! Run it as `cargo run -p witag-lint` (human diagnostics, nonzero exit
+//! on findings) or with `--json LINT_report.json` for the CI gate.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use report::Report;
+use rules::{FileScope, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library sources must be panic-free (`.unwrap()` /
+/// `.expect()` / `panic!` / `todo!` / `unimplemented!` forbidden outside
+/// tests). These are the crates a million-round sweep executes.
+pub const PANIC_SCOPE: &[&str] = &["phy", "mac", "crypto", "channel", "tag", "core", "faults"];
+
+/// Crates whose library sources must be deterministic (no wall-clock, no
+/// ad-hoc threads, no entropy, no default-hasher collections). Everything
+/// the simulator links, plus the CLI and this linter itself; `bench` and
+/// the offline shim crates (`criterion`, `proptest`) legitimately touch
+/// `std::time` and stay out.
+pub const DETERMINISM_SCOPE: &[&str] = &[
+    "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "cli", "lint",
+];
+
+/// Files exempt from the determinism pass because they *implement* the
+/// sanctioned wrappers the rest of the workspace is pointed at.
+pub const DETERMINISM_SANCTIONED: &[&str] = &["crates/sim/src/parallel.rs"];
+
+/// Crates whose `pub` items must carry doc comments (the crates that
+/// historically built under `missing_docs`).
+pub const DOCS_SCOPE: &[&str] = &[
+    "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "bench", "lint",
+];
+
+/// Lint the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`). Scans `crates/*/src/**/*.rs` plus the root
+/// package's `src/`, applying each crate's rule scopes, and returns the
+/// sorted, deduplicated report.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        // Crate roots: lib.rs and/or main.rs directly under src/.
+        let roots = [src.join("lib.rs"), src.join("main.rs")];
+        for path in files {
+            let rel = rel_path(root, &path);
+            let scope = FileScope {
+                determinism: DETERMINISM_SCOPE.contains(&name.as_str())
+                    && !DETERMINISM_SANCTIONED.contains(&rel.as_str()),
+                panic_freedom: PANIC_SCOPE.contains(&name.as_str()),
+                docs: DOCS_SCOPE.contains(&name.as_str()),
+                crate_root: roots.contains(&path),
+            };
+            check_one(&path, &rel, scope, &mut findings)?;
+            files_scanned += 1;
+        }
+    }
+
+    // The workspace-root package (src/root.rs): deterministic re-export
+    // shim; its crate root must forbid unsafe too.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        let mut files = Vec::new();
+        collect_rs(&root_src, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = rel_path(root, &path);
+            let scope = FileScope {
+                determinism: true,
+                panic_freedom: false,
+                docs: false,
+                crate_root: rel == "src/root.rs",
+            };
+            check_one(&path, &rel, scope, &mut findings)?;
+            files_scanned += 1;
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    findings.dedup();
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned,
+        findings,
+    })
+}
+
+/// Lint a single source text under an explicit scope — the fixture tests'
+/// entry point, and the unit under everything `run_workspace` does per
+/// file.
+pub fn analyze_source(rel_path: &str, source: &str, scope: FileScope) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let map = scan::scan(&lexed);
+    let mut findings = Vec::new();
+    rules::check_file(rel_path, &lexed, &map, scope, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // `std::thread::spawn` trips both the `std::thread` and the
+    // `thread::spawn` patterns at adjacent tokens — one defect, one report.
+    findings.dedup();
+    findings
+}
+
+fn check_one(
+    path: &Path,
+    rel: &str,
+    scope: FileScope,
+    findings: &mut Vec<Finding>,
+) -> std::io::Result<()> {
+    let source = fs::read_to_string(path)?;
+    findings.extend(analyze_source(rel, &source, scope));
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

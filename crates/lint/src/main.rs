@@ -1,0 +1,83 @@
+//! `witag-lint` CLI: lint the workspace, print human diagnostics, exit
+//! nonzero on findings. `--json PATH` additionally writes the machine
+//! report `ci.sh` gates on.
+//!
+//! ```text
+//! cargo run -p witag-lint                      # human diagnostics
+//! cargo run -p witag-lint -- --json LINT_report.json
+//! cargo run -p witag-lint -- --root /path/to/repo
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: witag-lint [--root DIR] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("witag-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from (two levels
+    // above crates/lint), so `cargo run -p witag-lint` needs no flags.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match witag_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("witag-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("witag-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        let func = f
+            .function
+            .as_deref()
+            .map(|n| format!(" (in fn {n})"))
+            .unwrap_or_default();
+        println!("{}:{}: [{}] {}{}", f.file, f.line, f.rule, f.message, func);
+    }
+    let counts = report.counts();
+    if report.findings.is_empty() {
+        println!(
+            "witag-lint: {} files scanned, 0 findings",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        println!(
+            "witag-lint: {} files scanned, {} findings ({})",
+            report.files_scanned,
+            report.findings.len(),
+            summary.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

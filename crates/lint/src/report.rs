@@ -1,0 +1,126 @@
+//! JSON report emission — hand-rolled (the build environment is offline,
+//! so no serde), matching the perf-gate's "parse with a python one-liner"
+//! contract in `ci.sh`.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// The full result of a workspace lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Repo root the run scanned.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings per rule name (zero-count rules omitted).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"witag-lint/1\",\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let items: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| format!("{}: {}", json_str(rule), n))
+            .collect();
+        s.push_str(&items.join(", "));
+        s.push_str("},\n");
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            match &f.function {
+                Some(name) => s.push_str(&format!("\"function\": {}, ", json_str(name))),
+                None => s.push_str("\"function\": null, "),
+            }
+            s.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = Report {
+            root: "/x".into(),
+            files_scanned: 3,
+            findings: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn findings_serialize_with_function() {
+        let r = Report {
+            root: "/x".into(),
+            files_scanned: 1,
+            findings: vec![Finding {
+                rule: "panic_freedom",
+                file: "crates/phy/src/a.rs".into(),
+                line: 12,
+                function: Some("receive".into()),
+                message: "msg with \"quotes\"".into(),
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"line\": 12"));
+        assert!(j.contains("\"function\": \"receive\""));
+        assert!(j.contains("\\\"quotes\\\""));
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixture tests: each seeded violation is reported with the exact rule
+//! and line, and every lookalike (strings, comments, test modules,
+//! pragmas) stays silent.
+
+use witag_lint::analyze_source;
+use witag_lint::rules::FileScope;
+
+/// The `(rule, line)` pairs of the findings, in report order.
+fn rule_lines(src: &str, scope: FileScope) -> Vec<(String, u32)> {
+    analyze_source("fixture.rs", src, scope)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_exact_findings() {
+    let src = include_str!("fixtures/determinism.rs");
+    let scope = FileScope {
+        determinism: true,
+        ..FileScope::default()
+    };
+    let expect: Vec<(String, u32)> = [4u32, 9, 14, 22]
+        .iter()
+        .map(|&l| ("determinism".to_string(), l))
+        .collect();
+    assert_eq!(rule_lines(src, scope), expect);
+}
+
+#[test]
+fn panics_fixture_exact_findings() {
+    let src = include_str!("fixtures/panics.rs");
+    let scope = FileScope {
+        panic_freedom: true,
+        ..FileScope::default()
+    };
+    let expect: Vec<(String, u32)> = [5u32, 9, 14, 19, 23]
+        .iter()
+        .map(|&l| ("panic_freedom".to_string(), l))
+        .collect();
+    assert_eq!(rule_lines(src, scope), expect);
+}
+
+#[test]
+fn no_alloc_fixture_exact_findings() {
+    let src = include_str!("fixtures/no_alloc.rs");
+    // Marker-driven: fires under every scope, including the default.
+    let expect: Vec<(String, u32)> = [7u32, 8, 9, 10, 11, 12, 13, 14, 30]
+        .iter()
+        .map(|&l| ("no_alloc".to_string(), l))
+        .collect();
+    assert_eq!(rule_lines(src, FileScope::default()), expect);
+}
+
+#[test]
+fn hygiene_fixture_exact_findings() {
+    let src = include_str!("fixtures/hygiene.rs");
+    let scope = FileScope {
+        docs: true,
+        crate_root: true,
+        ..FileScope::default()
+    };
+    let expect: Vec<(String, u32)> = vec![("hygiene".to_string(), 1), ("hygiene".to_string(), 7)];
+    assert_eq!(rule_lines(src, scope), expect);
+}
+
+#[test]
+fn findings_carry_the_enclosing_function() {
+    let src = include_str!("fixtures/panics.rs");
+    let scope = FileScope {
+        panic_freedom: true,
+        ..FileScope::default()
+    };
+    let findings = analyze_source("fixture.rs", src, scope);
+    assert_eq!(findings[0].function.as_deref(), Some("real_unwrap"));
+    assert_eq!(findings[2].function.as_deref(), Some("real_panic"));
+}

@@ -1,0 +1,37 @@
+//! Determinism fixture: wall-clock, threading, hash order, entropy.
+
+pub fn wall_clock() -> bool {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() > 0
+}
+
+pub fn spawns_thread() -> i32 {
+    let h = std::thread::spawn(|| 7);
+    h.join().unwrap_or(0)
+}
+
+pub fn hash_order(keys: &[u32]) -> usize {
+    let mut set = HashSet::new();
+    for &k in keys {
+        set.insert(k);
+    }
+    set.len()
+}
+
+pub fn ambient_entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn sanctioned_clock() -> u128 {
+    let t = std::time::Instant::now(); // lint:allow(determinism)
+    t.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//! Hygiene fixture: a crate root that forgot `#![forbid(unsafe_code)]`
+//! and a public item with no doc comment.
+
+/// Documented: no finding.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+/// Attributes between the doc comment and the item are transparent.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrGap;

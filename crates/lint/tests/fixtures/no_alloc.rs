@@ -1,0 +1,30 @@
+//! Hot-path fixture: every forbidden allocation token inside a marked
+//! function, an unmarked function that may allocate freely, a pragma'd
+//! growth line, and a dangling marker.
+
+// lint:no_alloc
+pub fn hot(out: &mut Vec<f64>, src: &[f64]) {
+    let v = Vec::new();
+    let w = vec![0u8; 4];
+    let c = src.to_vec();
+    let d: Vec<f64> = src.iter().copied().collect();
+    let e = c.clone();
+    let s = format!("{}", src.len());
+    let b = Box::new(3.0);
+    let t = String::from("x");
+    out.push(v.len() as f64 + w.len() as f64 + d.len() as f64);
+    out.push(e.len() as f64 + s.len() as f64 + *b + t.len() as f64);
+}
+
+pub fn cold() -> Vec<u8> {
+    vec![1, 2, 3]
+}
+
+// lint:no_alloc
+pub fn warm(out: &mut Vec<u8>) {
+    out.extend_from_slice(&[1, 2]);
+    let grown = out.to_vec(); // lint:allow(no_alloc)
+    out.truncate(grown.len());
+}
+
+// lint:no_alloc

@@ -1,0 +1,45 @@
+//! Panic-freedom fixture: real panic sites next to lookalikes the lexer
+//! must see through (strings, raw strings, comments, `unwrap_or`).
+
+pub fn real_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn real_expect(v: Option<u32>) -> u32 {
+    v.expect("boom")
+}
+
+pub fn real_panic(flag: bool) {
+    if flag {
+        panic!("kaboom");
+    }
+}
+
+pub fn real_todo() {
+    todo!()
+}
+
+pub fn real_unimplemented() {
+    unimplemented!()
+}
+
+pub fn lookalikes<'a>(v: Option<u32>, tail: &'a str) -> u32 {
+    // A commented-out panic!("never") must not count.
+    let s = "calling unwrap() inside a string literal is fine";
+    let r = r#"raw strings with panic!("x") and .unwrap() too"#;
+    let q: char = '\'';
+    let n = s.len() + r.len() + tail.len() + q.len_utf8();
+    v.unwrap_or(n as u32)
+}
+
+pub fn structurally_infallible(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic_freedom)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! The linter's own acceptance test: the real workspace carries zero
+//! findings. Any rule violation introduced anywhere in the tree fails
+//! this test (and `ci.sh`) with the offending file and line.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root exists");
+    let report = witag_lint::run_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

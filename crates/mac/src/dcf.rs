@@ -201,11 +201,12 @@ pub fn simulate(mut stations: Vec<DcfStation>, horizon: Duration, seed: u64) -> 
             // Collision: medium busy for the longest involved frame; all
             // involved double their windows and redraw.
             collision_events += 1;
+            // A collision involves ≥ 2 winners, so the maximum exists; the
+            // fold makes that total without a panic path.
             let busy = winners
                 .iter()
                 .map(|&i| stations[i].exchange_airtime)
-                .max()
-                .unwrap();
+                .fold(Duration::ZERO, Duration::max);
             now += busy;
             for &i in &winners {
                 let s = &mut stations[i];

@@ -21,7 +21,6 @@
 //! standard behaviours.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod access;
 pub mod ampdu;

@@ -124,6 +124,7 @@ pub fn depuncture(received: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f6
 ///
 /// # Panics
 /// Same contract as [`depuncture`].
+// lint:no_alloc
 pub fn depuncture_into(received: &[f64], rate: CodeRate, mother_len: usize, out: &mut Vec<f64>) {
     let pattern = puncture_pattern(rate);
     assert_eq!(
@@ -134,10 +135,13 @@ pub fn depuncture_into(received: &[f64], rate: CodeRate, mother_len: usize, out:
     );
     out.clear();
     out.reserve(mother_len);
-    let mut it = received.iter();
+    // The assert above fixes `received.len()` to exactly the number of
+    // kept positions, so this cursor never runs past the slice.
+    let mut next = 0usize;
     for i in 0..mother_len {
         if pattern[i % pattern.len()] {
-            out.push(*it.next().expect("received stream too short for mother length"));
+            out.push(received[next]);
+            next += 1;
         } else {
             out.push(0.0);
         }
@@ -182,6 +186,7 @@ pub struct ViterbiScratch {
 /// the same additions in the same order, and ties keep the low
 /// predecessor / the last-scanned best end state, exactly as the original
 /// per-state scan did.
+// lint:no_alloc
 fn viterbi_kernel(
     llrs: &[f64],
     n_steps: usize,
@@ -264,6 +269,7 @@ pub fn viterbi_decode(llrs: &[f64], info_bits: usize) -> Vec<u8> {
 
 /// [`viterbi_decode`] with caller-provided scratch and output buffers
 /// (allocation-free once both are warm).
+// lint:no_alloc
 pub fn viterbi_decode_into(
     llrs: &[f64],
     info_bits: usize,
@@ -310,6 +316,7 @@ pub fn viterbi_decode_stream(llrs: &[f64], n_bits: usize) -> Vec<u8> {
 /// [`viterbi_decode_stream`] with caller-provided scratch and output
 /// buffers (allocation-free once both are warm). This is the form the
 /// receive chain uses every round.
+// lint:no_alloc
 pub fn viterbi_decode_stream_into(
     llrs: &[f64],
     n_bits: usize,

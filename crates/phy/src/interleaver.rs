@@ -103,6 +103,7 @@ impl InterleaverPerm {
 
     /// [`interleave`] using the cached table, writing into `out`
     /// (cleared and resized first).
+    // lint:no_alloc
     pub fn interleave_into<T: Copy + Default>(&self, items: &[T], out: &mut Vec<T>) {
         assert_eq!(items.len(), self.dims.n_cbps, "one full symbol at a time");
         out.clear();
@@ -114,6 +115,7 @@ impl InterleaverPerm {
 
     /// [`deinterleave`] using the cached table, writing into `out`
     /// (cleared and resized first).
+    // lint:no_alloc
     pub fn deinterleave_into<T: Copy + Default>(&self, items: &[T], out: &mut Vec<T>) {
         assert_eq!(items.len(), self.dims.n_cbps, "one full symbol at a time");
         out.clear();

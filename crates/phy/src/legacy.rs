@@ -176,6 +176,7 @@ pub fn legacy_transmit(rate: LegacyRate, psdu: &[u8]) -> LegacyPpdu {
 }
 
 /// Receive a legacy PPDU: estimate from the LTF, equalise, decode.
+// lint:no_alloc
 pub fn legacy_receive(rx: &LegacyPpdu, noise_var: f64) -> Vec<u8> {
     legacy_receive_with_scratch(rx, noise_var, &mut RxScratch::new())
 }
@@ -185,6 +186,7 @@ pub fn legacy_receive(rx: &LegacyPpdu, noise_var: f64) -> Vec<u8> {
 /// allocation-free steady state). An experiment shares one scratch
 /// between the HT data chain and this legacy block-ACK chain; the
 /// interleaver-permutation cache keeps both dimension sets warm.
+// lint:no_alloc
 pub fn legacy_receive_with_scratch(
     rx: &LegacyPpdu,
     noise_var: f64,
@@ -203,7 +205,8 @@ pub fn legacy_receive_with_scratch(
     let perm = RxScratch::perm(&mut scratch.perms, dims);
     let coded_llrs = &mut scratch.coded_llrs;
     let llrs_tx = &mut scratch.llrs_tx;
-    scratch.per_stream.resize_with(scratch.per_stream.len().max(1), Vec::new);
+    // First-call growth only; the placeholder `Vec::new` is lazy.
+    scratch.per_stream.resize_with(scratch.per_stream.len().max(1), Vec::new); // lint:allow(no_alloc)
     let code_order = &mut scratch.per_stream[0];
     coded_llrs.clear();
     coded_llrs.reserve(rx.symbols.len() * dims.n_cbps);

@@ -26,7 +26,6 @@
 //! anywhere in the signal path (noise is injected by `witag-channel`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod airtime;
 pub mod complex;

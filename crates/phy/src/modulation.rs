@@ -118,6 +118,7 @@ pub fn demodulate_llr(symbols: &[Complex64], m: Modulation, noise_var: f64) -> V
 /// subcarrier, so buffer reuse removes the dominant allocation source of
 /// the whole RX hot path. LLRs are *appended* — callers clear when they
 /// need a fresh symbol's worth.
+// lint:no_alloc
 pub fn demodulate_llr_into(
     symbols: &[Complex64],
     m: Modulation,

@@ -103,7 +103,11 @@ pub const fn ht_ltf_count(spatial_streams: usize) -> usize {
         1 => 1,
         2 => 2,
         3 | 4 => 4,
-        _ => panic!("802.11n supports 1..=4 spatial streams"),
+        // Structurally infallible at runtime: every caller passes
+        // `Mcs::spatial_streams`, which is constructed in 1..=4; keeping
+        // the const-evaluable panic turns a violated precondition into a
+        // compile-time error for const callers.
+        _ => panic!("802.11n supports 1..=4 spatial streams"), // lint:allow(panic_freedom)
     }
 }
 

@@ -222,6 +222,7 @@ pub fn deparse_streams(streams: &[Vec<f64>], n_bpscs: usize) -> Vec<f64> {
 
 /// [`deparse_streams`] appending into a caller-provided buffer (the
 /// receive chain accumulates every symbol's coded LLRs into one stream).
+// lint:no_alloc
 pub fn deparse_streams_into(streams: &[Vec<f64>], n_bpscs: usize, out: &mut Vec<f64>) {
     let s = (n_bpscs / 2).max(1);
     let nss = streams.len();

@@ -103,20 +103,26 @@ impl RxScratch {
 
     /// Cached permutation for `dims`, building it on first sight.
     pub(crate) fn perm(perms: &mut Vec<InterleaverPerm>, dims: InterleaverDims) -> &InterleaverPerm {
-        if let Some(i) = perms.iter().position(|p| p.dims() == dims) {
-            return &perms[i];
-        }
-        perms.push(InterleaverPerm::new(dims));
-        perms.last().expect("just pushed")
+        let i = match perms.iter().position(|p| p.dims() == dims) {
+            Some(i) => i,
+            None => {
+                perms.push(InterleaverPerm::new(dims));
+                perms.len() - 1
+            }
+        };
+        &perms[i]
     }
 
     /// Cached pilot pattern for `n_pilots` pilot tones.
     pub(crate) fn pilot_pattern(pilots: &mut Vec<Vec<Complex64>>, n_pilots: usize) -> &[Complex64] {
-        if let Some(i) = pilots.iter().position(|p| p.len() == n_pilots) {
-            return &pilots[i];
-        }
-        pilots.push(pilot_values(n_pilots));
-        pilots.last().expect("just pushed")
+        let i = match pilots.iter().position(|p| p.len() == n_pilots) {
+            Some(i) => i,
+            None => {
+                pilots.push(pilot_values(n_pilots));
+                pilots.len() - 1
+            }
+        };
+        &pilots[i]
     }
 }
 
@@ -140,6 +146,7 @@ pub struct DecodedPsdu {
 /// LLRs. Real receivers estimate this from the preamble; giving the model
 /// the true value removes an estimation error source that is orthogonal to
 /// what the reproduction studies.
+// lint:no_alloc
 pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
     receive_with_scratch(rx, noise_var, &mut RxScratch::new())
 }
@@ -148,6 +155,7 @@ pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
 /// warm, the chain performs no intermediate allocation (only the returned
 /// `DecodedPsdu`'s two output vectors are freshly allocated). Results are
 /// bit-identical to [`receive`].
+// lint:no_alloc
 pub fn receive_with_scratch(rx: &Ppdu, noise_var: f64, scratch: &mut RxScratch) -> DecodedPsdu {
     let config = &rx.config;
     let layout = config.layout();
@@ -168,7 +176,9 @@ pub fn receive_with_scratch(rx: &Ppdu, noise_var: f64, scratch: &mut RxScratch) 
     } = scratch;
     let perm = RxScratch::perm(perms, dims);
     let pilots = RxScratch::pilot_pattern(pilots, layout.pilot_positions().len());
-    per_stream.resize_with(per_stream.len().max(nss), Vec::new);
+    // Grows only on the first call (or a wider nss): steady state is a
+    // no-op and the placeholder `Vec::new` never allocates until filled.
+    per_stream.resize_with(per_stream.len().max(nss), Vec::new); // lint:allow(no_alloc)
 
     coded_llrs.clear();
     coded_llrs.reserve(rx.symbols.len() * config.ncbps());

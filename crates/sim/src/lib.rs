@@ -22,7 +22,6 @@
 //! doc coverage of what is and is not modelled.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod event;
 pub mod geom;

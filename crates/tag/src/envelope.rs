@@ -106,12 +106,14 @@ impl EnvelopeDetector {
         let mut last_end: Option<Instant> = None;
         for seg in trace.segments() {
             // Gap before this segment: signal at -infinity -> deassert.
-            if busy && last_end.map(|e| e < seg.start).unwrap_or(false) {
-                edges.push(Edge {
-                    at: last_end.unwrap() + self.latency,
-                    rising: false,
-                });
-                busy = false;
+            if let Some(e) = last_end {
+                if busy && e < seg.start {
+                    edges.push(Edge {
+                        at: e + self.latency,
+                        rising: false,
+                    });
+                    busy = false;
+                }
             }
             let level = seg.power_dbm;
             if !busy && level >= on_threshold {

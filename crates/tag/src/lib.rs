@@ -18,7 +18,6 @@
 //!   numbers behind the battery-free claim.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod device;
 pub mod envelope;

@@ -2,6 +2,8 @@
 //! that examples and cross-crate integration tests have a single import
 //! surface. Downstream users should depend on the individual crates.
 
+#![forbid(unsafe_code)]
+
 pub use witag;
 pub use witag_baselines as baselines;
 pub use witag_channel as channel;
