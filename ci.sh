@@ -7,6 +7,10 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Rustdoc must build clean: the observability schema and Recorder contract
+# live partly in doc comments, so doc warnings are treated as errors.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 # Static-assurance gate: witag-lint walks every workspace source file and
 # fails (nonzero exit) on any determinism / panic-freedom / no_alloc /
 # hygiene finding. The JSON artifact is validated like the perf report.
@@ -19,3 +23,12 @@ python3 -c "import json; r = json.load(open('LINT_report.json')); assert r['find
 WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
     cargo run -q --release -p witag-bench --bin perf_gate > /dev/null
 python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"
+
+# Trace smoke: a parallel sweep streamed to a witag-obs/1 JSONL trace,
+# then aggregated by `report`. Asserts the trace carries the schema
+# header and that the aggregator sees events (docs/OBS_SCHEMA.md).
+cargo run -q --release -p witag-cli -- sweep --from 1 --to 2 --step 1 \
+    --rounds 10 --threads 2 --trace /tmp/witag_trace_smoke.jsonl
+head -n 1 /tmp/witag_trace_smoke.jsonl | grep -q '"schema":"witag-obs/1"'
+cargo run -q --release -p witag-cli -- report /tmp/witag_trace_smoke.jsonl \
+    | grep -q 'sweep_point'

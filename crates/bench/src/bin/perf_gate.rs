@@ -19,6 +19,13 @@
 //! the machine's core count (on a single-core container the two are
 //! equal to within noise, by design — shard results are bit-identical
 //! for every thread count).
+//!
+//! The `obs` section gates the observability layer: the serial round
+//! number above already runs with a detached `NullRecorder` (that is the
+//! zero-cost path the ≤2% budget applies to, judged against
+//! `seed_baseline_us`), and `traced_rounds_per_s` measures the same
+//! workload with an attached in-memory recorder so the cost of *active*
+//! tracing stays visible.
 
 use std::time::Instant;
 
@@ -28,6 +35,7 @@ use witag_phy::convolutional::{bits_to_llrs, encode_stream, viterbi_decode_strea
 use witag_phy::mcs::Mcs;
 use witag_phy::ppdu::{transmit, PhyConfig};
 use witag_phy::receiver::{receive, receive_with_scratch, RxScratch};
+use witag_obs::BufferRecorder;
 use witag_sim::Rng;
 
 fn quick() -> bool {
@@ -99,6 +107,22 @@ fn main() {
     };
     let serial_s = t0.elapsed().as_secs_f64();
 
+    // Same serial workload with an attached recorder: the delta against
+    // the (NullRecorder) serial number above is the cost of live tracing.
+    let t0 = Instant::now();
+    let (traced_stats, trace_events) = {
+        let mut exp = Experiment::new(cfg.clone()).expect("viable scenario");
+        let mut buf = BufferRecorder::new();
+        let stats = exp.run_obs(rounds, &mut buf);
+        (stats, buf.events().len())
+    };
+    let traced_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        traced_stats.ber(),
+        serial_stats.ber(),
+        "attaching a recorder must not perturb results"
+    );
+
     let t0 = Instant::now();
     let parallel_stats = Experiment::run_parallel(&cfg, None, rounds, threads)
         .expect("viable scenario");
@@ -114,8 +138,10 @@ fn main() {
 
     let serial_per_s = serial_stats.rounds as f64 / serial_s.max(1e-9);
     let parallel_per_s = parallel_stats.rounds as f64 / parallel_s.max(1e-9);
+    let traced_per_s = traced_stats.rounds as f64 / traced_s.max(1e-9);
+    let traced_overhead_pct = (1.0 - traced_per_s / serial_per_s.max(1e-9)) * 100.0;
     let json = format!(
-        "{{\n  \"schema\": \"witag-perf-gate-v1\",\n  \"quick\": {quick},\n  \"threads\": {threads},\n  \"phy\": {{\n    \"transmit_1664B_mcs5_ns\": {transmit_ns:.0},\n    \"receive_fresh_1664B_mcs5_ns\": {receive_fresh_ns:.0},\n    \"receive_scratch_1664B_mcs5_ns\": {receive_scratch_ns:.0},\n    \"viterbi_stream_4096_bits_ns\": {viterbi_ns:.0}\n  }},\n  \"round\": {{\n    \"rounds\": {rounds},\n    \"serial_rounds_per_s\": {serial_per_s:.2},\n    \"parallel_rounds_per_s\": {parallel_per_s:.2},\n    \"parallel_faulted_rounds_per_s\": {:.2},\n    \"parallel_speedup\": {:.2}\n  }},\n  \"seed_baseline_us\": {{\n    \"note\": \"criterion µs/iter at the pre-optimisation seed commit, same container\",\n    \"receive_1664B_mcs5\": {SEED_RECEIVE_1664B_MCS5_US},\n    \"transmit_1664B_mcs5\": {SEED_TRANSMIT_1664B_MCS5_US},\n    \"viterbi_decode_1000_bits_r23\": {SEED_VITERBI_1000_BITS_R23_US},\n    \"query_round_64_subframes\": {SEED_QUERY_ROUND_US}\n  }},\n  \"speedup_vs_seed\": {{\n    \"receive_chain\": {:.2},\n    \"transmit\": {:.2},\n    \"round_throughput_serial\": {:.2},\n    \"round_throughput_parallel\": {:.2}\n  }},\n  \"check\": {{\n    \"serial_ber\": {:.6},\n    \"parallel_ber\": {:.6},\n    \"parallel_shards\": {}\n  }}\n}}",
+        "{{\n  \"schema\": \"witag-perf-gate-v1\",\n  \"quick\": {quick},\n  \"threads\": {threads},\n  \"phy\": {{\n    \"transmit_1664B_mcs5_ns\": {transmit_ns:.0},\n    \"receive_fresh_1664B_mcs5_ns\": {receive_fresh_ns:.0},\n    \"receive_scratch_1664B_mcs5_ns\": {receive_scratch_ns:.0},\n    \"viterbi_stream_4096_bits_ns\": {viterbi_ns:.0}\n  }},\n  \"round\": {{\n    \"rounds\": {rounds},\n    \"serial_rounds_per_s\": {serial_per_s:.2},\n    \"parallel_rounds_per_s\": {parallel_per_s:.2},\n    \"parallel_faulted_rounds_per_s\": {:.2},\n    \"parallel_speedup\": {:.2}\n  }},\n  \"obs\": {{\n    \"note\": \"serial_rounds_per_s above runs with a detached NullRecorder; this is the attached-recorder cost\",\n    \"traced_rounds_per_s\": {traced_per_s:.2},\n    \"trace_events\": {trace_events},\n    \"traced_overhead_pct\": {traced_overhead_pct:.2}\n  }},\n  \"seed_baseline_us\": {{\n    \"note\": \"criterion µs/iter at the pre-optimisation seed commit, same container\",\n    \"receive_1664B_mcs5\": {SEED_RECEIVE_1664B_MCS5_US},\n    \"transmit_1664B_mcs5\": {SEED_TRANSMIT_1664B_MCS5_US},\n    \"viterbi_decode_1000_bits_r23\": {SEED_VITERBI_1000_BITS_R23_US},\n    \"query_round_64_subframes\": {SEED_QUERY_ROUND_US}\n  }},\n  \"speedup_vs_seed\": {{\n    \"receive_chain\": {:.2},\n    \"transmit\": {:.2},\n    \"round_throughput_serial\": {:.2},\n    \"round_throughput_parallel\": {:.2}\n  }},\n  \"check\": {{\n    \"serial_ber\": {:.6},\n    \"parallel_ber\": {:.6},\n    \"parallel_shards\": {}\n  }}\n}}",
         faulted_stats.rounds as f64 / faulted_s.max(1e-9),
         serial_s / parallel_s.max(1e-9),
         SEED_RECEIVE_1664B_MCS5_US * 1e3 / receive_scratch_ns,

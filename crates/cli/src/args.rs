@@ -87,9 +87,8 @@ impl Args {
         Ok(args)
     }
 
-    /// Positional arguments (none of the current subcommands take any,
-    /// but the parser supports them and the tests pin the behaviour).
-    #[allow(dead_code)]
+    /// Positional arguments (the `report` subcommand takes the trace
+    /// path as one).
     pub fn positionals(&self) -> &[String] {
         &self.positionals
     }

@@ -5,25 +5,38 @@
 //!              [--security open|wep|wpa2] [--encoding flip|ook]
 //!              [--clock-khz 250] [--temp 0]
 //! witag nlos   [--location a|b] [--windows 10] [--rounds 40] [--seed 7]
-//! witag sweep  [--from 1] [--to 7] [--step 1] [--rounds 100] [--threads N]
+//! witag sweep  [--from 1] [--to 7] [--step 1] [--rounds 100] [--seed 42]
+//!              [--threads N] [--trace out.jsonl]
 //! witag design [--distance 1.0] [--clock-khz 250] [--subframes 64]
 //! witag send   --message "text" [--distance 2] [--max-queries 400]
 //! witag faults [--message "text"] [--intensity 1.0] [--distance 1]
 //!              [--seed 42] [--plan-seed 7] [--budget 3000]
+//!              [--trace out.jsonl]
+//! witag report <trace.jsonl>
 //! witag floorplan
 //! ```
 //!
 //! Every subcommand prints a deterministic result for a given `--seed`.
+//! `--trace` streams a `witag-obs/1` JSONL event trace (schema:
+//! `docs/OBS_SCHEMA.md`); `report` aggregates such a trace into a
+//! summary table. The trace bytes are independent of `--threads`.
 
 #![forbid(unsafe_code)]
 
 mod args;
 
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
 use args::{ArgError, Args};
 use witag::experiment::{Experiment, ExperimentConfig, SecurityMode};
 use witag::query::QueryDesign;
-use witag::tagnet::{deliver, session_over_experiment, SessionConfig, SessionOutcome};
+use witag::tagnet::{
+    deliver, session_over_experiment, session_over_experiment_obs, SessionConfig, SessionOutcome,
+};
 use witag_faults::FaultPlan;
+use witag_obs::{BufferRecorder, Event, JsonlRecorder, Recorder, TraceSummary};
 use witag_channel::{Link, LinkConfig};
 use witag_sim::geom::Floorplan;
 use witag_tag::device::BitEncoding;
@@ -47,6 +60,7 @@ fn main() {
         "design" => cmd_design(&parsed),
         "send" => cmd_send(&parsed),
         "faults" => cmd_faults(&parsed),
+        "report" => cmd_report(&parsed),
         "floorplan" => cmd_floorplan(&parsed),
         "help" | "--help" | "-h" => {
             usage();
@@ -74,11 +88,17 @@ fn usage() {
          subcommands:\n\
          \x20 run        one scenario: BER/throughput at a tag position\n\
          \x20 nlos       the paper's Figure-6 NLOS locations\n\
-         \x20 sweep      Figure-5 style distance sweep\n\
+         \x20 sweep      Figure-5 style distance sweep (parallel across\n\
+         \x20            --threads; identical output at any thread count)\n\
          \x20 design     show the query design for a link\n\
          \x20 send       deliver a message via the reliable transport\n\
          \x20 faults     run the resilient session under injected faults\n\
+         \x20            (single session; deterministic for --seed/--plan-seed)\n\
+         \x20 report     summarise a --trace JSONL file (docs/OBS_SCHEMA.md)\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
+         `sweep` and `faults` accept --trace <path> to stream a\n\
+         witag-obs/1 event trace; see EXPERIMENTS.md (TRACE + REPORT,\n\
+         PERF GATE) for walkthroughs.\n\
          run `witag <cmd> --help` semantics: all options have defaults;\n\
          see crates/cli/src/main.rs for the full list."
     );
@@ -183,6 +203,37 @@ fn cmd_nlos(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Read `--trace <path>`: `None` when absent, error on an empty value.
+fn trace_arg(a: &Args) -> Result<Option<String>, ArgError> {
+    match a.raw("trace") {
+        Some("") => Err(ArgError::MissingValue("trace".into())),
+        t => Ok(t.map(str::to_string)),
+    }
+}
+
+/// Open a JSONL trace sink at `path`, exiting with a message on failure.
+fn open_trace(path: &str) -> JsonlRecorder<BufWriter<File>> {
+    match JsonlRecorder::create(Path::new(path)) {
+        Ok(rec) => rec,
+        Err(e) => {
+            eprintln!("cannot create trace file '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Flush a trace sink and report how many events landed on disk.
+fn close_trace(rec: JsonlRecorder<BufWriter<File>>, path: &str) {
+    let events = rec.lines();
+    match rec.finish() {
+        Ok(_) => eprintln!("trace: {events} events -> {path}"),
+        Err(e) => {
+            eprintln!("trace file '{path}' is incomplete: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_sweep(a: &Args) -> Result<(), ArgError> {
     let from = a.f64_or("from", 1.0)?;
     let to = a.f64_or("to", 7.0)?;
@@ -190,25 +241,48 @@ fn cmd_sweep(a: &Args) -> Result<(), ArgError> {
     let rounds = a.usize_or("rounds", 100)?;
     let seed = a.u64_or("seed", 42)?;
     let threads = a.usize_or("threads", witag_sim::available_threads())?;
+    let trace = trace_arg(a)?;
     a.reject_unknown()?;
     println!("{:>10} {:>10} {:>14}", "dist (m)", "BER", "tput (Kbps)");
     // Sweep points are independent experiments, so they parallelise with
     // no change in output: each point's seed and round sequence are
     // exactly what the serial loop used, and results print in distance
-    // order regardless of completion order.
+    // order regardless of completion order. When tracing, each worker
+    // buffers its point's events and the buffers are replayed in point
+    // order, so the trace bytes are thread-count-invariant too.
     let mut distances = Vec::new();
     let mut d = from;
     while d <= to + 1e-9 {
         distances.push(d);
         d += step.max(0.01);
     }
+    let tracing = trace.is_some();
     let results = witag_sim::par_map(distances.len(), threads, |i| {
         let mut exp =
             Experiment::new(ExperimentConfig::fig5(distances[i], seed)).expect("viable");
-        exp.run(rounds)
+        if tracing {
+            let mut buf = BufferRecorder::new();
+            let stats = exp.run_obs(rounds, &mut buf);
+            (stats, Some(buf))
+        } else {
+            (exp.run(rounds), None)
+        }
     });
-    for (d, stats) in distances.iter().zip(results.iter()) {
+    for (d, (stats, _)) in distances.iter().zip(results.iter()) {
         println!("{d:>10.2} {:>10.4} {:>14.1}", stats.ber(), stats.throughput_kbps());
+    }
+    if let Some(path) = trace {
+        let mut rec = open_trace(&path);
+        for (i, (d, (_, buf))) in distances.iter().zip(results.iter()).enumerate() {
+            rec.record(&Event::SweepPoint {
+                index: i as u32,
+                distance_m: *d,
+            });
+            if let Some(buf) = buf {
+                buf.replay_into(&mut rec);
+            }
+        }
+        close_trace(rec, &path);
     }
     Ok(())
 }
@@ -292,6 +366,7 @@ fn cmd_faults(a: &Args) -> Result<(), ArgError> {
     let plan_seed = a.u64_or("plan-seed", 7)?;
     let intensity = a.f64_or("intensity", 1.0)?;
     let budget = a.usize_or("budget", 3000)?;
+    let trace = trace_arg(a)?;
     a.reject_unknown()?;
     let mut exp =
         Experiment::new(ExperimentConfig::fig5(distance, seed)).expect("scenario viable");
@@ -300,7 +375,15 @@ fn cmd_faults(a: &Args) -> Result<(), ArgError> {
         max_rounds: budget,
         ..SessionConfig::default()
     };
-    let report = match session_over_experiment(&mut exp, message.as_bytes(), &cfg) {
+    let outcome = if let Some(path) = &trace {
+        let mut rec = open_trace(path);
+        let r = session_over_experiment_obs(&mut exp, message.as_bytes(), &cfg, &mut rec);
+        close_trace(rec, path);
+        r
+    } else {
+        session_over_experiment(&mut exp, message.as_bytes(), &cfg)
+    };
+    let report = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("session setup failed: {e}");
@@ -341,6 +424,34 @@ fn cmd_faults(a: &Args) -> Result<(), ArgError> {
             std::process::exit(1);
         }
     }
+    Ok(())
+}
+
+fn cmd_report(a: &Args) -> Result<(), ArgError> {
+    a.reject_unknown()?;
+    let path = match a.positionals().first() {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: witag report <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace file '{path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut summary = TraceSummary::default();
+    for line in text.lines() {
+        summary.ingest_line(line);
+    }
+    if summary.events() == 0 && summary.schema().is_none() {
+        eprintln!("'{path}' contains no witag-obs events");
+        std::process::exit(1);
+    }
+    print!("{}", summary.render());
     Ok(())
 }
 

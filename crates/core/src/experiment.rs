@@ -34,6 +34,7 @@ use witag_faults::{FaultCounters, FaultInjector, FaultPlan, RoundFaults};
 use witag_mac::access::Contention;
 use witag_mac::header::Addr;
 use witag_mac::{deaggregate, BlockAck, Security};
+use witag_obs::{BufferRecorder, Event, NullRecorder, Recorder};
 use witag_phy::airtime::{block_ack_airtime, LegacyRate};
 use witag_phy::params::timing;
 use witag_phy::receiver::{receive_with_scratch, RxScratch};
@@ -378,6 +379,11 @@ pub struct Experiment {
     /// here makes every round after the first allocation-free in the
     /// PHY hot path.
     scratch: RxScratch,
+    /// Next observability round stamp ([`Event`] `round` fields). Starts
+    /// at 0 (or the shard base set by [`Self::set_trace_base`]) and
+    /// advances on every query *and* idle round, so trace numbering is
+    /// continuous and shard-rebased numbering is globally unique.
+    trace_round: u64,
 }
 
 impl Experiment {
@@ -451,7 +457,16 @@ impl Experiment {
             built,
             faults: None,
             scratch: RxScratch::new(),
+            trace_round: 0,
         })
+    }
+
+    /// Rebase observability round stamps: the next round emits events
+    /// stamped `base`, the one after `base + 1`, and so on. The parallel
+    /// runner sets each shard's base to its first global round index so
+    /// a merged trace numbers rounds continuously.
+    pub fn set_trace_base(&mut self, base: u64) {
+        self.trace_round = base;
     }
 
     /// The client→AP link SNR (dB).
@@ -483,8 +498,19 @@ impl Experiment {
     /// keep evolving, links keep fading and the tag's harvester keeps
     /// charging — but no query is sent and no bits move.
     pub fn run_idle(&mut self) -> Duration {
+        self.run_idle_obs(&mut NullRecorder)
+    }
+
+    /// [`run_idle`](Self::run_idle) with observability: fault verdicts
+    /// that fire during the quiet period still emit `fault` events (so a
+    /// trace shows what a backing-off client sat out), and the round
+    /// stamp advances to keep trace numbering continuous. Detached
+    /// recorder ⇒ bit-identical to `run_idle`.
+    pub fn run_idle_obs(&mut self, rec: &mut dyn Recorder) -> Duration {
+        let obs_round = self.trace_round;
+        self.trace_round += 1;
         if let Some(inj) = self.faults.as_mut() {
-            let _ = inj.begin_round();
+            let _ = inj.begin_round_obs(obs_round, rec);
         }
         let dt = self.design.round_airtime_estimate();
         self.now += dt;
@@ -499,12 +525,25 @@ impl Experiment {
     /// Run one query round with the given tag bits (length must be
     /// `design.bits_per_query()`; shorter is padded with 1s by the tag).
     pub fn run_round(&mut self, bits: &[u8]) -> RoundResult {
+        self.run_round_obs(bits, &mut NullRecorder)
+    }
+
+    /// [`run_round`](Self::run_round) with observability: emits `fault`
+    /// (when the injector fires), `phy_rx` (forward-link decode quality),
+    /// `ba` (bitmap assembly) and `round` (the per-round scoreboard)
+    /// events, all stamped with this round's trace index. Every emission
+    /// is gated on [`Recorder::enabled`], so a detached recorder costs
+    /// one branch per seam and the result is bit-identical to
+    /// `run_round`.
+    pub fn run_round_obs(&mut self, bits: &[u8], rec: &mut dyn Recorder) -> RoundResult {
+        let obs_round = self.trace_round;
+        self.trace_round += 1;
         let design = &self.design;
         let profile = design.tag_profile();
 
         // -- 0. Fault verdict for this round. ---------------------------
         let rf = match self.faults.as_mut() {
-            Some(inj) => inj.begin_round(),
+            Some(inj) => inj.begin_round_obs(obs_round, rec),
             None => RoundFaults::inert(),
         };
         // Persistent fault state (oscillator drift, coherence collapse):
@@ -627,6 +666,12 @@ impl Experiment {
         } else {
             let rx = self.link.apply_ppdu(&self.built.ppdu, &schedule);
             let decoded = receive_with_scratch(&rx, self.link.noise_var(), &mut self.scratch);
+            if rec.enabled() {
+                rec.record(&Event::PhyRx {
+                    round: obs_round,
+                    quality: decoded.quality(),
+                });
+            }
             let outcomes = deaggregate(&decoded.bytes);
 
             // Exercise the security path on surviving MPDUs: FCS-valid
@@ -651,6 +696,9 @@ impl Experiment {
                 self.seq,
                 &outcomes,
             );
+            if rec.enabled() {
+                rec.record(&ba.assembly_event(obs_round, design.n_subframes));
+            }
 
             // -- 5. Block ACK back through the *real* reverse channel. ---
             // The AP serialises the BA, transmits it at the 24 Mbps basic
@@ -725,6 +773,17 @@ impl Experiment {
         self.reverse_link.advance(round_air);
         self.seq = (self.seq + design.n_subframes as u16) % 4096;
 
+        if rec.enabled() {
+            rec.record(&Event::RoundEnd {
+                round: obs_round,
+                triggered,
+                ba_lost,
+                bits: errors.total as u32,
+                bit_errors: (errors.false_zeros + errors.false_ones) as u32,
+                airtime_us: round_air.as_micros(),
+            });
+        }
+
         RoundResult {
             sent: sent_bits,
             readout,
@@ -737,13 +796,21 @@ impl Experiment {
 
     /// Run `rounds` rounds of random tag data, accumulating statistics.
     pub fn run(&mut self, rounds: usize) -> ExperimentStats {
+        self.run_obs(rounds, &mut NullRecorder)
+    }
+
+    /// [`run`](Self::run) with observability: every round goes through
+    /// [`run_round_obs`](Self::run_round_obs), so an attached recorder
+    /// sees the full per-round event stream. Statistics are identical to
+    /// `run` whatever the recorder does.
+    pub fn run_obs(&mut self, rounds: usize, rec: &mut dyn Recorder) -> ExperimentStats {
         let mut stats = ExperimentStats::default();
         let n_bits = self.design.bits_per_query();
         for _ in 0..rounds {
             let bits: Vec<u8> = (0..n_bits)
                 .map(|_| (self.rng.next_u64() & 1) as u8)
                 .collect();
-            let r = self.run_round(&bits);
+            let r = self.run_round_obs(&bits, rec);
             stats.rounds += 1;
             stats.errors.merge(&r.errors);
             stats.elapsed += r.airtime;
@@ -782,6 +849,25 @@ impl Experiment {
         rounds: usize,
         threads: usize,
     ) -> Result<ExperimentStats, ExperimentError> {
+        Self::run_parallel_traced(cfg, plan, rounds, threads, &mut NullRecorder)
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with observability. Each
+    /// shard records into a private in-memory buffer while running (its
+    /// round stamps rebased to the shard's first global round); after
+    /// the fork-join the buffers are replayed into `rec` **in shard
+    /// order**, each prefixed by a `shard` marker event — so the merged
+    /// trace is byte-identical for every `threads >= 1`
+    /// (`tests/trace_determinism.rs`). A detached recorder skips the
+    /// buffering entirely and behaves exactly like `run_parallel`.
+    pub fn run_parallel_traced(
+        cfg: &ExperimentConfig,
+        plan: Option<&FaultPlan>,
+        rounds: usize,
+        threads: usize,
+        rec: &mut dyn Recorder,
+    ) -> Result<ExperimentStats, ExperimentError> {
+        let tracing = rec.enabled();
         let n_shards = rounds.div_ceil(PARALLEL_SHARD_ROUNDS).max(1);
         let shard_results = par_map(n_shards, threads, |shard| {
             // Derive the shard's seed (and fault stream) from the master
@@ -792,16 +878,31 @@ impl Experiment {
             let shard_rounds =
                 PARALLEL_SHARD_ROUNDS.min(rounds - (shard * PARALLEL_SHARD_ROUNDS).min(rounds));
             let mut exp = Experiment::new(shard_cfg)?;
+            exp.set_trace_base((shard * PARALLEL_SHARD_ROUNDS) as u64);
             if let Some(p) = plan {
                 let mut shard_plan = p.clone();
                 shard_plan.seed = stream.next_u64();
                 exp.attach_faults(shard_plan);
             }
-            Ok(exp.run(shard_rounds))
+            let mut buf = BufferRecorder::new();
+            let stats = if tracing {
+                exp.run_obs(shard_rounds, &mut buf)
+            } else {
+                exp.run(shard_rounds)
+            };
+            Ok((stats, buf, shard_rounds))
         });
         let mut total = ExperimentStats::default();
-        for r in shard_results {
-            let s = r?;
+        for (shard, r) in shard_results.into_iter().enumerate() {
+            let (s, buf, shard_rounds) = r?;
+            if tracing {
+                rec.record(&Event::Shard {
+                    index: shard as u32,
+                    base_round: (shard * PARALLEL_SHARD_ROUNDS) as u64,
+                    rounds: shard_rounds as u32,
+                });
+                buf.replay_into(rec);
+            }
             if s.rounds > 0 {
                 total.window_bers.push(s.ber());
             }

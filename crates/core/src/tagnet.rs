@@ -21,9 +21,11 @@
 //! workspace integration tests (`tests/tagnet_transport.rs`).
 
 use crate::fec::FecLayout;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use witag_crypto::crc8;
+use witag_obs::{Event, NullRecorder, Recorder, SharedRecorder};
 
 /// Payload bits carried per chunk.
 pub const CHUNK_PAYLOAD_BITS: usize = 20;
@@ -803,6 +805,26 @@ pub fn run_session<F>(
     message: &[u8],
     channel_bits: usize,
     cfg: &SessionConfig,
+    channel: F,
+) -> Result<SessionReport, TagnetError>
+where
+    F: FnMut(&SessionQuery, &[u8]) -> RoundOutcome,
+{
+    run_session_obs(message, channel_bits, cfg, &mut NullRecorder, channel)
+}
+
+/// [`run_session`] with observability: emits `session_query` (every
+/// physical round, idle included), `session_backoff` (each quiet
+/// period), `session_chunk` (each accepted chunk), `session_resync`
+/// (each window-base update) and exactly one `session_done` event, all
+/// stamped with the session's 0-based round counter. Emission is gated
+/// on [`Recorder::enabled`], so a detached recorder makes this a strict
+/// synonym of `run_session`.
+pub fn run_session_obs<F>(
+    message: &[u8],
+    channel_bits: usize,
+    cfg: &SessionConfig,
+    rec: &mut dyn Recorder,
     mut channel: F,
 ) -> Result<SessionReport, TagnetError>
 where
@@ -815,10 +837,14 @@ where
     let mut stats = SessionStats::default();
 
     // One closure-owned round executor so every path counts uniformly.
+    // `rec` is threaded through as a parameter (reborrowed per call)
+    // rather than captured, so the outer code can keep emitting too.
     let mut run_one = |sender: &mut SessionSender,
                        stats: &mut SessionStats,
-                       q: &SessionQuery|
+                       q: &SessionQuery,
+                       rec: &mut dyn Recorder|
      -> Result<RoundOutcome, TagnetError> {
+        let round = stats.rounds as u64;
         let tx = sender.serve(q, channel_bits)?;
         let out = channel(q, &tx);
         stats.rounds += 1;
@@ -831,26 +857,61 @@ where
         if out.tag_heard {
             sender.commit(q);
         }
+        if rec.enabled() {
+            let (query, slot) = match q {
+                SessionQuery::Slot(k) => ("slot", Some(*k)),
+                SessionQuery::Slide => ("slide", None),
+                SessionQuery::Resync => ("resync", None),
+                SessionQuery::Idle => ("idle", None),
+            };
+            rec.record(&Event::SessionQuery {
+                round,
+                query,
+                slot,
+                heard: out.tag_heard,
+                readout: out.readout.is_some(),
+            });
+        }
         Ok(out)
+    };
+
+    // The terminal event, shared by every return path below.
+    let done_event = |stats: &SessionStats, delivered: bool| Event::SessionDone {
+        round: stats.rounds as u64,
+        delivered,
+        queries: stats.queries as u32,
+        idle_rounds: stats.idle_rounds as u32,
+        retransmissions: stats.retransmissions as u32,
+        resyncs: stats.resyncs as u32,
+        payload_bits: stats.payload_bits as u32,
     };
 
     while stats.rounds < cfg.max_rounds {
         if client.complete() {
-            return Ok(SessionReport {
-                outcome: client.assemble(),
-                stats,
-            });
+            let outcome = client.assemble();
+            if rec.enabled() {
+                let delivered = matches!(outcome, SessionOutcome::Delivered(_));
+                rec.record(&done_event(&stats, delivered));
+            }
+            return Ok(SessionReport { outcome, stats });
         }
 
         // Exponential backoff: after a streak of dead rounds, go quiet
         // and re-establish the window afterwards.
         if client.consecutive_losses >= cfg.backoff_threshold {
             let idle = 1usize << client.backoff_exp.min(cfg.max_backoff_exp);
+            if rec.enabled() {
+                rec.record(&Event::SessionBackoff {
+                    round: stats.rounds as u64,
+                    idle_rounds: idle as u32,
+                    level: client.backoff_exp,
+                });
+            }
             for _ in 0..idle {
                 if stats.rounds >= cfg.max_rounds {
                     break;
                 }
-                run_one(&mut sender, &mut stats, &SessionQuery::Idle)?;
+                run_one(&mut sender, &mut stats, &SessionQuery::Idle, &mut *rec)?;
             }
             client.backoff_exp = (client.backoff_exp + 1).min(cfg.max_backoff_exp);
             client.consecutive_losses = 0;
@@ -909,7 +970,7 @@ where
             if stats.rounds >= cfg.max_rounds {
                 break;
             }
-            let out = run_one(&mut sender, &mut stats, &q)?;
+            let out = run_one(&mut sender, &mut stats, &q, &mut *rec)?;
             issued += 1;
             let bits = match out.readout {
                 Some(bits) => bits,
@@ -1065,6 +1126,12 @@ where
                 match decoded {
                     Some((_, payload)) => {
                         stats.payload_bits += client.store(abs, payload);
+                        if rec.enabled() {
+                            rec.record(&Event::SessionChunk {
+                                round: stats.rounds as u64,
+                                chunk: abs as u32,
+                            });
+                        }
                         if let Some(s) = client.soft.get_mut(abs) {
                             s.clear();
                             s.shrink_to_fit();
@@ -1105,6 +1172,12 @@ where
                         let base = parse_base_report(seq, &payload)
                             .expect("validated as a base report above"); // lint:allow(panic_freedom)
                         client.base = base;
+                        if rec.enabled() {
+                            rec.record(&Event::SessionResync {
+                                round: stats.rounds as u64,
+                                base: base as u32,
+                            });
+                        }
                         client.pending_resync = false;
                         client.consecutive_losses = 0;
                         client.backoff_exp = 0;
@@ -1125,6 +1198,12 @@ where
                         // chunk count — is always in hand by now.
                         let total = client.n_chunks.unwrap_or(usize::MAX);
                         client.base = (client.base + client.cfg.window).min(total);
+                        if rec.enabled() {
+                            rec.record(&Event::SessionResync {
+                                round: stats.rounds as u64,
+                                base: client.base as u32,
+                            });
+                        }
                         client.consecutive_losses = 0;
                         client.backoff_exp = 0;
                         client.control_soft.clear();
@@ -1144,10 +1223,15 @@ where
     }
 
     if client.complete() {
-        return Ok(SessionReport {
-            outcome: client.assemble(),
-            stats,
-        });
+        let outcome = client.assemble();
+        if rec.enabled() {
+            let delivered = matches!(outcome, SessionOutcome::Delivered(_));
+            rec.record(&done_event(&stats, delivered));
+        }
+        return Ok(SessionReport { outcome, stats });
+    }
+    if rec.enabled() {
+        rec.record(&done_event(&stats, false));
     }
     Ok(SessionReport {
         outcome: SessionOutcome::Failed(SessionFailure::BudgetExhausted),
@@ -1168,16 +1252,39 @@ pub fn session_over_experiment(
     message: &[u8],
     cfg: &SessionConfig,
 ) -> Result<SessionReport, TagnetError> {
+    session_over_experiment_obs(exp, message, cfg, &mut NullRecorder)
+}
+
+/// [`session_over_experiment`] with observability: the session driver's
+/// events (`session_*`) and the experiment rounds' events (`fault`,
+/// `phy_rx`, `ba`, `round`) interleave into one recorder in execution
+/// order, sharing the session's round numbering (the experiment's trace
+/// base is reset to 0 so both stamps line up).
+///
+/// Internally the one `rec` feeds two call paths (the driver and the
+/// per-round channel closure), which borrow rules forbid directly; a
+/// [`SharedRecorder`] cell routes both mutable paths through one sink.
+pub fn session_over_experiment_obs(
+    exp: &mut crate::experiment::Experiment,
+    message: &[u8],
+    cfg: &SessionConfig,
+    rec: &mut dyn Recorder,
+) -> Result<SessionReport, TagnetError> {
     let channel_bits = exp.design.bits_per_query();
-    run_session(message, channel_bits, cfg, |q, tx| {
+    exp.set_trace_base(0);
+    let cell = RefCell::new(rec);
+    let dyn_cell: &RefCell<dyn Recorder + '_> = &cell;
+    let mut driver_rec = SharedRecorder::new(dyn_cell);
+    let mut channel_rec = SharedRecorder::new(dyn_cell);
+    run_session_obs(message, channel_bits, cfg, &mut driver_rec, |q, tx| {
         if matches!(q, SessionQuery::Idle) {
-            exp.run_idle();
+            exp.run_idle_obs(&mut channel_rec);
             return RoundOutcome {
                 tag_heard: false,
                 readout: None,
             };
         }
-        let r = exp.run_round(tx);
+        let r = exp.run_round_obs(tx, &mut channel_rec);
         RoundOutcome {
             tag_heard: r.triggered,
             readout: (!r.ba_lost).then_some(r.readout.bits),

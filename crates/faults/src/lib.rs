@@ -265,6 +265,13 @@ impl FaultClass {
     pub fn mask(self) -> u8 {
         1 << (self as u8)
     }
+
+    /// The class's wire name in observability traces — the entry of
+    /// [`witag_obs::FAULT_CLASS_NAMES`] at this class's bit position
+    /// (the pairing is pinned by a test below).
+    pub fn name(self) -> &'static str {
+        witag_obs::FAULT_CLASS_NAMES[self as usize]
+    }
 }
 
 /// Per-class counts of rounds on which each fault fired.
@@ -420,6 +427,25 @@ impl FaultInjector {
         rf
     }
 
+    /// [`begin_round`](Self::begin_round) plus observability: when at
+    /// least one class fired and `rec` is attached, emits one
+    /// [`witag_obs::Event::FaultInjected`] stamped with `round` (the
+    /// caller's global round index — the injector's private counter may
+    /// be shard-local). Quiet rounds emit nothing, so hostile traces
+    /// stay sparse. The verdict and every internal draw are identical
+    /// to `begin_round`; a detached recorder makes this a strict
+    /// synonym.
+    pub fn begin_round_obs(&mut self, round: u64, rec: &mut dyn witag_obs::Recorder) -> RoundFaults {
+        let rf = self.begin_round();
+        if rec.enabled() {
+            let mask = self.trace.last().copied().unwrap_or(0);
+            if mask != 0 {
+                rec.record(&witag_obs::Event::FaultInjected { round, mask });
+            }
+        }
+        rf
+    }
+
     /// Flip each bit of `bits` (values 0/1) with probability `p`,
     /// drawing from the injector's private stream. Used by the
     /// experiment to apply [`RoundFaults::readout_flip`].
@@ -555,5 +581,61 @@ mod tests {
         assert_eq!(plan.block_ack_loss, 0.0);
         assert!(plan.burst.is_none() && plan.drift.is_none());
         assert!(plan.brownout.is_none() && plan.coherence.is_none());
+    }
+
+    #[test]
+    fn class_names_pin_the_obs_bit_positions() {
+        // The schema's FAULT_CLASS_NAMES table is indexed by bit
+        // position; this is the cross-crate contract check.
+        let classes = [
+            (FaultClass::QueryLoss, "query_loss"),
+            (FaultClass::BlockAckLoss, "ba_loss"),
+            (FaultClass::Burst, "burst"),
+            (FaultClass::Drift, "drift"),
+            (FaultClass::Brownout, "brownout"),
+            (FaultClass::CoherenceCollapse, "coherence_collapse"),
+        ];
+        assert_eq!(classes.len(), witag_obs::FAULT_CLASS_NAMES.len());
+        for (class, name) in classes {
+            assert_eq!(class.name(), name);
+            assert_eq!(class.mask(), 1 << (class as u8));
+            assert_eq!(witag_obs::FAULT_CLASS_NAMES[class as usize], name);
+        }
+    }
+
+    #[test]
+    fn begin_round_obs_matches_begin_round_and_emits_sparse_events() {
+        use witag_obs::{BufferRecorder, Event, NullRecorder};
+
+        let plan = FaultPlan::hostile(42);
+        let mut plain = FaultInjector::new(plan.clone());
+        let mut nulled = FaultInjector::new(plan.clone());
+        let mut traced = FaultInjector::new(plan);
+        let mut null = NullRecorder;
+        let mut buf = BufferRecorder::new();
+
+        for round in 0..500u64 {
+            let a = plain.begin_round();
+            let b = nulled.begin_round_obs(round, &mut null);
+            let c = traced.begin_round_obs(round, &mut buf);
+            assert_eq!(a, b, "round {round}: detached obs must be a synonym");
+            assert_eq!(a, c, "round {round}: attached obs must not perturb draws");
+        }
+        assert_eq!(plain.trace(), traced.trace());
+        assert_eq!(plain.counters(), traced.counters());
+
+        // One event per nonzero trace byte, stamped with its round.
+        let faulted: Vec<(u64, u8)> = plain
+            .trace()
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != 0)
+            .map(|(i, &m)| (i as u64, m))
+            .collect();
+        assert!(!faulted.is_empty(), "hostile plan should fire");
+        assert_eq!(buf.events().len(), faulted.len());
+        for (event, (round, mask)) in buf.events().iter().zip(&faulted) {
+            assert_eq!(event, &Event::FaultInjected { round: *round, mask: *mask });
+        }
     }
 }

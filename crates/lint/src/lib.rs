@@ -35,7 +35,8 @@ use std::path::{Path, PathBuf};
 /// Crates whose library sources must be panic-free (`.unwrap()` /
 /// `.expect()` / `panic!` / `todo!` / `unimplemented!` forbidden outside
 /// tests). These are the crates a million-round sweep executes.
-pub const PANIC_SCOPE: &[&str] = &["phy", "mac", "crypto", "channel", "tag", "core", "faults"];
+pub const PANIC_SCOPE: &[&str] =
+    &["phy", "mac", "crypto", "channel", "tag", "core", "faults", "obs"];
 
 /// Crates whose library sources must be deterministic (no wall-clock, no
 /// ad-hoc threads, no entropy, no default-hasher collections). Everything
@@ -44,6 +45,7 @@ pub const PANIC_SCOPE: &[&str] = &["phy", "mac", "crypto", "channel", "tag", "co
 /// `std::time` and stay out.
 pub const DETERMINISM_SCOPE: &[&str] = &[
     "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "cli", "lint",
+    "obs",
 ];
 
 /// Files exempt from the determinism pass because they *implement* the
@@ -54,6 +56,7 @@ pub const DETERMINISM_SANCTIONED: &[&str] = &["crates/sim/src/parallel.rs"];
 /// historically built under `missing_docs`).
 pub const DOCS_SCOPE: &[&str] = &[
     "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "bench", "lint",
+    "obs",
 ];
 
 /// Lint the workspace rooted at `root` (the directory holding the

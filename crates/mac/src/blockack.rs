@@ -67,6 +67,19 @@ impl BlockAck {
         self.bitmap.count_ones()
     }
 
+    /// The observability event describing this assembly: the bitmap is
+    /// WiTAG's downlink, so tracing it closes the loop between what the
+    /// channel corrupted and what the client will read. `round` is the
+    /// simulation round stamp; `subframes` how many the query carried.
+    pub fn assembly_event(&self, round: u64, subframes: usize) -> witag_obs::Event {
+        witag_obs::Event::BlockAckAssembled {
+            round,
+            subframes: subframes as u32,
+            acked: self.acked_count(),
+            bitmap: self.bitmap,
+        }
+    }
+
     /// Serialise to on-air bytes (with FCS).
     pub fn to_bytes(&self) -> Vec<u8> {
         assert!(self.ssn < 4096 && self.tid < 16);

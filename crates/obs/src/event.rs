@@ -1,0 +1,486 @@
+//! The event vocabulary: everything the instrumented seams can report,
+//! as one flat enum with a stable JSON form.
+//!
+//! Every event is stamped with **deterministic simulation indices**
+//! (round numbers, shard indices, sweep-point indices) — never wall
+//! clock. Two runs with equal seeds emit byte-identical event streams,
+//! which is what makes traces diffable and the thread-count-invariance
+//! test possible. The wire format is one JSON object per line; the
+//! field-by-field contract lives in `docs/OBS_SCHEMA.md` and is pinned
+//! by `tests/schema_coverage.rs`.
+
+use core::fmt::Write as _;
+
+/// Schema identifier stamped on every trace (the header line of a
+/// [`JsonlRecorder`](crate::JsonlRecorder) stream). Bump only with a
+/// matching `docs/OBS_SCHEMA.md` revision.
+pub const SCHEMA: &str = "witag-obs/1";
+
+/// Every event kind the schema knows, in emission-source order. The
+/// schema-coverage test asserts each appears in `docs/OBS_SCHEMA.md`;
+/// [`MetricsRecorder`](crate::MetricsRecorder) and
+/// [`TraceSummary`](crate::TraceSummary) index their per-kind counters
+/// by position in this list.
+pub const KINDS: [&str; 11] = [
+    "phy_rx",
+    "ba",
+    "round",
+    "fault",
+    "session_query",
+    "session_chunk",
+    "session_backoff",
+    "session_resync",
+    "session_done",
+    "sweep_point",
+    "shard",
+];
+
+/// Names for the fault-class bit positions of a `fault` event's `mask`
+/// field. Index `i` names bit `1 << i`, matching `witag_faults::FaultClass`
+/// (pinned by a cross-crate test in `witag-faults`). Lives here so the
+/// JSON writer and the `report` aggregator share one spelling without a
+/// dependency cycle.
+pub const FAULT_CLASS_NAMES: [&str; 6] = [
+    "query_loss",
+    "ba_loss",
+    "burst",
+    "drift",
+    "brownout",
+    "coherence_collapse",
+];
+
+/// Compact, allocation-free summary of one PHY decode's soft quality:
+/// the per-symbol mean |LLR| reduced to min/mean/max over a fixed-stride
+/// sample of symbols. Produced by `DecodedPsdu::quality` in `witag-phy`;
+/// carried by [`Event::PhyRx`].
+///
+/// ```
+/// let q = witag_obs::RxQuality { symbols: 40, sampled: 14, llr_min: 3.1, llr_mean: 9.8, llr_max: 14.0 };
+/// assert!(q.llr_min <= q.llr_mean && q.llr_mean <= q.llr_max);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RxQuality {
+    /// DATA symbols in the decoded PPDU.
+    pub symbols: u32,
+    /// Symbols actually inspected (fixed-stride subsample, ≤ 16).
+    pub sampled: u32,
+    /// Smallest sampled per-symbol mean |LLR| (unitless soft confidence).
+    pub llr_min: f64,
+    /// Mean of the sampled per-symbol mean |LLR|s.
+    pub llr_mean: f64,
+    /// Largest sampled per-symbol mean |LLR|.
+    pub llr_max: f64,
+}
+
+/// One observability event. See `docs/OBS_SCHEMA.md` for the
+/// field-by-field wire contract and one JSON example per kind.
+///
+/// All `round` stamps are **simulation round indices** (0-based unless a
+/// variant documents otherwise), never wall-clock times: determinism is
+/// part of the event contract, not a property of the recorder.
+///
+/// ```
+/// use witag_obs::Event;
+/// let e = Event::RoundEnd {
+///     round: 3, triggered: true, ba_lost: false,
+///     bits: 62, bit_errors: 1, airtime_us: 2154,
+/// };
+/// assert_eq!(e.kind(), "round");
+/// let mut line = String::new();
+/// e.write_json(&mut line);
+/// assert!(line.starts_with("{\"kind\":\"round\",\"round\":3,"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One forward-link PPDU went through the standard receive chain.
+    PhyRx {
+        /// Experiment round the decode belongs to.
+        round: u64,
+        /// Sampled soft-quality summary of the decode.
+        quality: RxQuality,
+    },
+    /// The AP assembled a compressed block ACK from de-aggregation
+    /// outcomes — the bitmap *is* WiTAG's downlink.
+    BlockAckAssembled {
+        /// Experiment round the block ACK belongs to.
+        round: u64,
+        /// Subframes the query carried.
+        subframes: u32,
+        /// Bitmap bits set (subframes with a valid FCS).
+        acked: u32,
+        /// The raw 64-bit bitmap (serialised as a hex string).
+        bitmap: u64,
+    },
+    /// One query round completed (or died to a fault) — the experiment
+    /// runner's per-round scoreboard.
+    RoundEnd {
+        /// Experiment round index.
+        round: u64,
+        /// Whether the tag's trigger matcher fired.
+        triggered: bool,
+        /// Whether the block ACK (or the query itself) was lost.
+        ba_lost: bool,
+        /// Tag bits scored this round.
+        bits: u32,
+        /// Bits scored as errors (undelivered bits included).
+        bit_errors: u32,
+        /// Round airtime in microseconds of *simulated* time.
+        airtime_us: u64,
+    },
+    /// The fault injector fired at least one fault class this round.
+    /// Quiet rounds emit nothing, keeping hostile traces sparse.
+    FaultInjected {
+        /// Experiment round the verdict applies to.
+        round: u64,
+        /// OR of fault-class bit masks; bit `i` is named by
+        /// [`FAULT_CLASS_NAMES`]`[i]`.
+        mask: u8,
+    },
+    /// The resilient session driver executed one physical round.
+    SessionQuery {
+        /// 0-based session round index (queries + idle rounds).
+        round: u64,
+        /// Query flavour: `"slot"`, `"slide"`, `"resync"` or `"idle"`.
+        query: &'static str,
+        /// Window slot for `"slot"` queries; absent otherwise.
+        slot: Option<u8>,
+        /// Whether the tag decoded the trigger signature.
+        heard: bool,
+        /// Whether the client read anything back at all.
+        readout: bool,
+    },
+    /// The session accepted (confirmed) one chunk.
+    SessionChunk {
+        /// Session round index at acceptance.
+        round: u64,
+        /// Absolute chunk index (0 = header).
+        chunk: u32,
+    },
+    /// The session is entering an exponential-backoff quiet period.
+    SessionBackoff {
+        /// Session round index when backoff engaged.
+        round: u64,
+        /// Idle rounds about to be spent.
+        idle_rounds: u32,
+        /// Backoff exponent level before this period.
+        level: u32,
+    },
+    /// The client re-learned the tag's window base (decoded base report
+    /// or slide prediction).
+    SessionResync {
+        /// Session round index of the base update.
+        round: u64,
+        /// The new window base (absolute chunk index).
+        base: u32,
+    },
+    /// The session terminated.
+    SessionDone {
+        /// Total session rounds consumed.
+        round: u64,
+        /// Whether the CRC-verified message was delivered.
+        delivered: bool,
+        /// Non-idle query rounds.
+        queries: u32,
+        /// Idle backoff rounds.
+        idle_rounds: u32,
+        /// Slot queries beyond each chunk's first attempt.
+        retransmissions: u32,
+        /// RESYNC queries issued.
+        resyncs: u32,
+        /// Distinct payload bits recovered.
+        payload_bits: u32,
+    },
+    /// Marker separating the per-point sub-streams of a distance sweep;
+    /// rounds restart at 0 after each marker.
+    SweepPoint {
+        /// 0-based sweep point index (distance order).
+        index: u32,
+        /// Tag distance from the client, metres.
+        distance_m: f64,
+    },
+    /// Marker separating the shard sub-streams of a parallel run, in
+    /// shard (merge) order.
+    Shard {
+        /// 0-based shard index.
+        index: u32,
+        /// First global round index of the shard.
+        base_round: u64,
+        /// Rounds the shard executed.
+        rounds: u32,
+    },
+}
+
+impl Event {
+    /// The event's kind string — its `"kind"` field on the wire and its
+    /// index key into [`KINDS`].
+    pub fn kind(&self) -> &'static str {
+        KINDS[self.kind_index()]
+    }
+
+    /// Position of this event's kind in [`KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::PhyRx { .. } => 0,
+            Event::BlockAckAssembled { .. } => 1,
+            Event::RoundEnd { .. } => 2,
+            Event::FaultInjected { .. } => 3,
+            Event::SessionQuery { .. } => 4,
+            Event::SessionChunk { .. } => 5,
+            Event::SessionBackoff { .. } => 6,
+            Event::SessionResync { .. } => 7,
+            Event::SessionDone { .. } => 8,
+            Event::SweepPoint { .. } => 9,
+            Event::Shard { .. } => 10,
+        }
+    }
+
+    /// Serialise as one JSON object (no trailing newline) appended to
+    /// `out`. The output is deterministic: fixed key order, fixed float
+    /// precision, no escapes needed (every string field is a controlled
+    /// `&'static str` drawn from a documented vocabulary).
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"kind\":\"{}\"", self.kind());
+        match *self {
+            Event::PhyRx { round, quality } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"symbols\":{},\"sampled\":{},\
+                     \"llr_min\":{:.4},\"llr_mean\":{:.4},\"llr_max\":{:.4}",
+                    quality.symbols,
+                    quality.sampled,
+                    quality.llr_min,
+                    quality.llr_mean,
+                    quality.llr_max
+                );
+            }
+            Event::BlockAckAssembled {
+                round,
+                subframes,
+                acked,
+                bitmap,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"subframes\":{subframes},\
+                     \"acked\":{acked},\"bitmap\":\"0x{bitmap:016x}\""
+                );
+            }
+            Event::RoundEnd {
+                round,
+                triggered,
+                ba_lost,
+                bits,
+                bit_errors,
+                airtime_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"triggered\":{triggered},\
+                     \"ba_lost\":{ba_lost},\"bits\":{bits},\
+                     \"bit_errors\":{bit_errors},\"airtime_us\":{airtime_us}"
+                );
+            }
+            Event::FaultInjected { round, mask } => {
+                let _ = write!(out, ",\"round\":{round},\"mask\":{mask},\"classes\":\"");
+                let mut first = true;
+                for (i, name) in FAULT_CLASS_NAMES.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        if !first {
+                            out.push('|');
+                        }
+                        out.push_str(name);
+                        first = false;
+                    }
+                }
+                out.push('"');
+            }
+            Event::SessionQuery {
+                round,
+                query,
+                slot,
+                heard,
+                readout,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"query\":\"{query}\"");
+                if let Some(k) = slot {
+                    let _ = write!(out, ",\"slot\":{k}");
+                }
+                let _ = write!(out, ",\"heard\":{heard},\"readout\":{readout}");
+            }
+            Event::SessionChunk { round, chunk } => {
+                let _ = write!(out, ",\"round\":{round},\"chunk\":{chunk}");
+            }
+            Event::SessionBackoff {
+                round,
+                idle_rounds,
+                level,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"idle_rounds\":{idle_rounds},\"level\":{level}"
+                );
+            }
+            Event::SessionResync { round, base } => {
+                let _ = write!(out, ",\"round\":{round},\"base\":{base}");
+            }
+            Event::SessionDone {
+                round,
+                delivered,
+                queries,
+                idle_rounds,
+                retransmissions,
+                resyncs,
+                payload_bits,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"delivered\":{delivered},\
+                     \"queries\":{queries},\"idle_rounds\":{idle_rounds},\
+                     \"retransmissions\":{retransmissions},\"resyncs\":{resyncs},\
+                     \"payload_bits\":{payload_bits}"
+                );
+            }
+            Event::SweepPoint { index, distance_m } => {
+                let _ = write!(out, ",\"index\":{index},\"distance_m\":{distance_m:.3}");
+            }
+            Event::Shard {
+                index,
+                base_round,
+                rounds,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"base_round\":{base_round},\"rounds\":{rounds}"
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// One representative event per kind, in [`KINDS`] order — shared by
+/// this crate's unit tests (serialisation, metrics, report roundtrip).
+#[cfg(test)]
+pub(crate) fn all_sample_events() -> Vec<Event> {
+    vec![
+        Event::PhyRx {
+            round: 0,
+            quality: RxQuality {
+                symbols: 40,
+                sampled: 14,
+                llr_min: 2.0,
+                llr_mean: 8.0,
+                llr_max: 12.0,
+            },
+        },
+        Event::BlockAckAssembled {
+            round: 0,
+            subframes: 64,
+            acked: 61,
+            bitmap: 0xDEAD_BEEF,
+        },
+        Event::RoundEnd {
+            round: 0,
+            triggered: true,
+            ba_lost: false,
+            bits: 62,
+            bit_errors: 1,
+            airtime_us: 2154,
+        },
+        Event::FaultInjected { round: 0, mask: 3 },
+        Event::SessionQuery {
+            round: 0,
+            query: "slot",
+            slot: Some(0),
+            heard: true,
+            readout: true,
+        },
+        Event::SessionChunk { round: 0, chunk: 1 },
+        Event::SessionBackoff {
+            round: 0,
+            idle_rounds: 4,
+            level: 2,
+        },
+        Event::SessionResync { round: 0, base: 8 },
+        Event::SessionDone {
+            round: 0,
+            delivered: true,
+            queries: 10,
+            idle_rounds: 2,
+            retransmissions: 3,
+            resyncs: 1,
+            payload_bits: 200,
+        },
+        Event::SweepPoint {
+            index: 0,
+            distance_m: 1.0,
+        },
+        Event::Shard {
+            index: 0,
+            base_round: 0,
+            rounds: 25,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_kinds_table() {
+        let samples = all_sample_events();
+        assert_eq!(samples.len(), KINDS.len(), "one sample per kind");
+        for (i, e) in samples.iter().enumerate() {
+            assert_eq!(e.kind_index(), i);
+            assert_eq!(e.kind(), KINDS[i]);
+        }
+    }
+
+    #[test]
+    fn every_kind_serialises_with_its_kind_field() {
+        for e in all_sample_events() {
+            let mut s = String::new();
+            e.write_json(&mut s);
+            assert!(s.starts_with(&format!("{{\"kind\":\"{}\"", e.kind())), "{s}");
+            assert!(s.ends_with('}'), "{s}");
+            // Balanced quotes: even count means every string closed.
+            assert_eq!(s.matches('"').count() % 2, 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn fault_classes_render_as_names() {
+        let e = Event::FaultInjected { round: 9, mask: 0b10010 };
+        let mut s = String::new();
+        e.write_json(&mut s);
+        assert!(s.contains("\"classes\":\"ba_loss|brownout\""), "{s}");
+        let quiet = Event::FaultInjected { round: 9, mask: 0 };
+        let mut s = String::new();
+        quiet.write_json(&mut s);
+        assert!(s.contains("\"classes\":\"\""), "{s}");
+    }
+
+    #[test]
+    fn slot_field_is_conditional() {
+        let with = Event::SessionQuery {
+            round: 1,
+            query: "slot",
+            slot: Some(2),
+            heard: true,
+            readout: true,
+        };
+        let without = Event::SessionQuery {
+            round: 2,
+            query: "resync",
+            slot: None,
+            heard: false,
+            readout: false,
+        };
+        let (mut a, mut b) = (String::new(), String::new());
+        with.write_json(&mut a);
+        without.write_json(&mut b);
+        assert!(a.contains("\"slot\":2"), "{a}");
+        assert!(!b.contains("slot"), "{b}");
+    }
+}

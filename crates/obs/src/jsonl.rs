@@ -1,0 +1,270 @@
+//! Streaming JSON-lines trace sink plus the minimal field extractors
+//! the `report` aggregator needs to read those traces back.
+//!
+//! One JSON object per line; the first line is a header carrying the
+//! schema version ([`SCHEMA`]). Serialisation reuses a single line
+//! buffer, so steady-state recording allocates only when a line outgrows
+//! every previous one. Sink errors are stashed, flip the recorder to
+//! detached, and surface once at [`JsonlRecorder::finish`] — the
+//! instrumented hot paths never see an I/O `Result`.
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+
+use crate::event::{Event, SCHEMA};
+use crate::Recorder;
+
+/// A [`Recorder`] that serialises every event as one JSON line into any
+/// [`io::Write`] sink.
+///
+/// On construction it writes the schema header line
+/// `{"schema":"witag-obs/1"}`. After any sink error the recorder
+/// reports `enabled() == false` (so instrumented code stops building
+/// events) and the error is returned by [`finish`](Self::finish).
+///
+/// ```
+/// use witag_obs::{Event, JsonlRecorder, Recorder};
+/// let mut rec = JsonlRecorder::in_memory();
+/// rec.record(&Event::SessionChunk { round: 2, chunk: 1 });
+/// let bytes = rec.finish().unwrap();
+/// let text = String::from_utf8(bytes).unwrap();
+/// let mut lines = text.lines();
+/// assert_eq!(lines.next(), Some("{\"schema\":\"witag-obs/1\"}"));
+/// assert_eq!(
+///     lines.next(),
+///     Some("{\"kind\":\"session_chunk\",\"round\":2,\"chunk\":1}")
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonlRecorder<W: io::Write> {
+    sink: W,
+    line: String,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: io::Write> JsonlRecorder<W> {
+    /// Wrap a sink and immediately write the schema header line.
+    pub fn new(mut sink: W) -> Self {
+        let mut error = None;
+        if let Err(e) = writeln!(sink, "{{\"schema\":\"{SCHEMA}\"}}") {
+            error = Some(e);
+        }
+        JsonlRecorder {
+            sink,
+            line: String::with_capacity(160),
+            error,
+            lines: 0,
+        }
+    }
+
+    /// Event lines written so far (the header is not counted).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the sink, surfacing any error stashed during
+    /// recording. A trace is only trustworthy if this returns `Ok`.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl JsonlRecorder<BufWriter<File>> {
+    /// Create (truncate) a trace file at `path` and stream into it
+    /// through a buffered writer.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder::new(BufWriter::new(file)))
+    }
+}
+
+impl JsonlRecorder<Vec<u8>> {
+    /// A recorder writing into an in-memory byte buffer — the sink the
+    /// determinism tests diff byte-for-byte.
+    pub fn in_memory() -> Self {
+        JsonlRecorder::new(Vec::new())
+    }
+}
+
+impl<W: io::Write> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        event.write_json(&mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.sink.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+/// Extract the raw token after `"key":` in one JSON line produced by
+/// this crate's writer: the quoted contents for string values, or the
+/// bare token (digits, `-`, `.`, `true`, `false`) for scalars. Returns
+/// `None` when the key is absent.
+///
+/// This is a reader for **our own** constrained output (no escapes, no
+/// nesting, no spaces), not a general JSON parser.
+///
+/// ```
+/// let line = "{\"kind\":\"round\",\"round\":3,\"ba_lost\":false}";
+/// assert_eq!(witag_obs::jsonl::field_str(line, "kind"), Some("round"));
+/// assert_eq!(witag_obs::jsonl::field_str(line, "round"), Some("3"));
+/// assert_eq!(witag_obs::jsonl::field_str(line, "missing"), None);
+/// ```
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    // Match the full `"key":` pattern so `round` does not hit `base_round`.
+    let mut search_from = 0usize;
+    let needle_len = key.len() + 3; // quotes + colon
+    loop {
+        let rel = line.get(search_from..)?.find(key)?;
+        let at = search_from + rel;
+        let before_ok = at >= 1 && line.as_bytes()[at - 1] == b'"';
+        let after = at + key.len();
+        let after_ok = line.as_bytes().get(after) == Some(&b'"')
+            && line.as_bytes().get(after + 1) == Some(&b':');
+        if before_ok && after_ok {
+            let value = &line[after + 2..];
+            return if let Some(stripped) = value.strip_prefix('"') {
+                let end = stripped.find('"')?;
+                Some(&stripped[..end])
+            } else {
+                let end = value.find([',', '}']).unwrap_or(value.len());
+                Some(&value[..end])
+            };
+        }
+        search_from = at + 1;
+        // Defensive: bail rather than loop forever on degenerate input.
+        if search_from + needle_len > line.len() {
+            return None;
+        }
+    }
+}
+
+/// [`field_str`] + `u64` parse; `None` when absent or non-numeric.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_str(line, key)?.parse().ok()
+}
+
+/// [`field_str`] + `f64` parse; `None` when absent or non-numeric.
+pub fn field_f64(line: &str, key: &str) -> Option<f64> {
+    field_str(line, key)?.parse().ok()
+}
+
+/// [`field_str`] + bool parse; `None` when absent or not `true`/`false`.
+pub fn field_bool(line: &str, key: &str) -> Option<bool> {
+    match field_str(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RxQuality;
+
+    #[test]
+    fn header_then_events_then_finish() {
+        let mut rec = JsonlRecorder::in_memory();
+        assert!(rec.enabled());
+        rec.record(&Event::FaultInjected { round: 1, mask: 4 });
+        rec.record(&Event::SessionResync { round: 2, base: 6 });
+        assert_eq!(rec.lines(), 2);
+        let text = String::from_utf8(rec.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"schema\":\"witag-obs/1\"}");
+        assert!(lines[1].contains("\"classes\":\"burst\""));
+        assert!(lines[2].contains("\"base\":6"));
+    }
+
+    #[test]
+    fn sink_error_disables_and_surfaces_at_finish() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("sink broke"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = JsonlRecorder::new(Failing);
+        assert!(!rec.enabled(), "header write already failed");
+        rec.record(&Event::SessionChunk { round: 0, chunk: 0 });
+        assert_eq!(rec.lines(), 0);
+        assert!(rec.finish().is_err());
+    }
+
+    #[test]
+    fn field_helpers_read_back_our_own_lines() {
+        let e = Event::PhyRx {
+            round: 12,
+            quality: RxQuality {
+                symbols: 40,
+                sampled: 14,
+                llr_min: 2.5,
+                llr_mean: 8.25,
+                llr_max: 12.125,
+            },
+        };
+        let mut line = String::new();
+        e.write_json(&mut line);
+        assert_eq!(field_str(&line, "kind"), Some("phy_rx"));
+        assert_eq!(field_u64(&line, "round"), Some(12));
+        assert_eq!(field_u64(&line, "symbols"), Some(40));
+        assert_eq!(field_f64(&line, "llr_mean"), Some(8.25));
+        assert_eq!(field_f64(&line, "llr_max"), Some(12.125));
+        assert_eq!(field_str(&line, "nope"), None);
+    }
+
+    #[test]
+    fn field_str_does_not_match_key_substrings() {
+        let e = Event::Shard {
+            index: 3,
+            base_round: 75,
+            rounds: 25,
+        };
+        let mut line = String::new();
+        e.write_json(&mut line);
+        // `round` and `rounds` are substrings of `base_round`; exact
+        // key matching must keep them apart.
+        assert_eq!(field_u64(&line, "base_round"), Some(75));
+        assert_eq!(field_u64(&line, "rounds"), Some(25));
+        assert_eq!(field_u64(&line, "index"), Some(3));
+        assert_eq!(field_u64(&line, "round"), None);
+    }
+
+    #[test]
+    fn field_bool_parses_both_values() {
+        let e = Event::RoundEnd {
+            round: 0,
+            triggered: true,
+            ba_lost: false,
+            bits: 62,
+            bit_errors: 0,
+            airtime_us: 2000,
+        };
+        let mut line = String::new();
+        e.write_json(&mut line);
+        assert_eq!(field_bool(&line, "triggered"), Some(true));
+        assert_eq!(field_bool(&line, "ba_lost"), Some(false));
+        assert_eq!(field_bool(&line, "bits"), None, "62 is not a bool");
+    }
+}

@@ -1,0 +1,58 @@
+//! Schema-coverage gate: `docs/OBS_SCHEMA.md` must document the schema
+//! version, every event kind the code can emit, and every fault-class
+//! name. Adding an `Event` variant without updating the document fails
+//! here, keeping code and contract in lockstep.
+
+use witag_obs::{FAULT_CLASS_NAMES, KINDS, SCHEMA};
+
+fn schema_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/OBS_SCHEMA.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/OBS_SCHEMA.md must exist ({path}): {e}"))
+}
+
+#[test]
+fn schema_doc_names_the_schema_version() {
+    let doc = schema_doc();
+    assert!(
+        doc.contains(SCHEMA),
+        "docs/OBS_SCHEMA.md must name schema version {SCHEMA}"
+    );
+}
+
+#[test]
+fn schema_doc_covers_every_event_kind() {
+    let doc = schema_doc();
+    for kind in KINDS {
+        // Require the backticked wire name so prose mentions don't
+        // accidentally satisfy the gate.
+        let needle = format!("`{kind}`");
+        assert!(
+            doc.contains(&needle),
+            "docs/OBS_SCHEMA.md is missing event kind {needle}"
+        );
+    }
+}
+
+#[test]
+fn schema_doc_covers_every_fault_class_name() {
+    let doc = schema_doc();
+    for name in FAULT_CLASS_NAMES {
+        assert!(
+            doc.contains(name),
+            "docs/OBS_SCHEMA.md is missing fault class name {name}"
+        );
+    }
+}
+
+#[test]
+fn schema_doc_shows_a_json_example_per_kind() {
+    let doc = schema_doc();
+    for kind in KINDS {
+        let needle = format!("{{\"kind\":\"{kind}\"");
+        assert!(
+            doc.contains(&needle),
+            "docs/OBS_SCHEMA.md is missing a JSON example line for {kind}"
+        );
+    }
+}

@@ -137,6 +137,49 @@ pub struct DecodedPsdu {
     pub symbol_quality: Vec<f64>,
 }
 
+impl DecodedPsdu {
+    /// How many symbols [`quality`](Self::quality) inspects at most: a
+    /// fixed-stride subsample keeps the summary O(1)-ish and its cost
+    /// independent of PPDU length.
+    pub const QUALITY_SAMPLE_CAP: usize = 16;
+
+    /// Reduce `symbol_quality` to an allocation-free observability
+    /// summary: min/mean/max of the per-symbol mean |LLR| over a
+    /// fixed-stride sample of at most
+    /// [`QUALITY_SAMPLE_CAP`](Self::QUALITY_SAMPLE_CAP) symbols.
+    /// Deterministic: the stride
+    /// depends only on the symbol count, so equal decodes summarise
+    /// identically.
+    // lint:no_alloc
+    pub fn quality(&self) -> witag_obs::RxQuality {
+        let n = self.symbol_quality.len();
+        if n == 0 {
+            return witag_obs::RxQuality::default();
+        }
+        let stride = n.div_ceil(Self::QUALITY_SAMPLE_CAP).max(1);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sampled = 0u32;
+        let mut i = 0;
+        while i < n {
+            let q = self.symbol_quality[i];
+            min = if q < min { q } else { min };
+            max = if q > max { q } else { max };
+            sum += q;
+            sampled += 1;
+            i += stride;
+        }
+        witag_obs::RxQuality {
+            symbols: n as u32,
+            sampled,
+            llr_min: min,
+            llr_mean: sum / f64::from(sampled),
+            llr_max: max,
+        }
+    }
+}
+
 /// Receive: estimate the channel from the PPDU's (channel-distorted) LTF,
 /// equalise every DATA symbol with that single estimate, demap, decode and
 /// descramble.

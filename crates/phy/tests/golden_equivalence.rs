@@ -284,6 +284,40 @@ fn interleaver_roundtrips_for_every_dimension_set() {
 }
 
 #[test]
+fn obs_quality_sampling_is_deterministic_and_bounded() {
+    // The observability summary ([`DecodedPsdu::quality`]) rides on the
+    // allocation-free receive path: it samples at most
+    // `QUALITY_SAMPLE_CAP` symbol metrics by striding, touches no heap,
+    // and must be bit-identical between the fresh and scratch entry
+    // points (it only reads `symbol_quality`, which the test above pins).
+    use witag_phy::receiver::DecodedPsdu;
+    let psdu = vec![0xC3u8; 416];
+    let mut scratch = RxScratch::new();
+    for idx in [0usize, 5, 12] {
+        let ppdu = transmit(&PhyConfig::new(Mcs::ht(idx)), &psdu);
+        let fresh = receive(&ppdu, 1e-3);
+        let reused = receive_with_scratch(&ppdu, 1e-3, &mut scratch);
+        let qa = fresh.quality();
+        let qb = reused.quality();
+        assert_eq!(qa, qb, "mcs{idx}: same decode => same quality summary");
+        assert_eq!(qa.symbols as usize, fresh.symbol_quality.len());
+        assert!(qa.sampled >= 1, "non-empty decode must sample");
+        assert!(
+            qa.sampled as usize <= DecodedPsdu::QUALITY_SAMPLE_CAP,
+            "mcs{idx}: sampled {} over cap",
+            qa.sampled
+        );
+        assert!(qa.sampled <= qa.symbols);
+        assert!(
+            qa.llr_min <= qa.llr_mean && qa.llr_mean <= qa.llr_max,
+            "mcs{idx}: min/mean/max ordering"
+        );
+        // Repeated summarisation of the same decode is pure.
+        assert_eq!(fresh.quality(), qa);
+    }
+}
+
+#[test]
 fn receive_chain_bit_identical_across_mcs_and_scratch_reuse() {
     // The end proof: the whole optimised receive chain — one warm
     // scratch reused across *different* MCS / bandwidth combinations in

@@ -9,6 +9,7 @@ pub use witag_baselines as baselines;
 pub use witag_channel as channel;
 pub use witag_crypto as crypto;
 pub use witag_mac as mac;
+pub use witag_obs as obs;
 pub use witag_phy as phy;
 pub use witag_sim as sim;
 pub use witag_tag as tag;
