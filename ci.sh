@@ -18,11 +18,14 @@ cargo run -q --release -p witag-lint -- --json LINT_report.json
 python3 -c "import json; r = json.load(open('LINT_report.json')); assert r['findings'] == [], r['findings']"
 
 # Perf gate smoke: run the baseline binary in quick mode (tiny iteration
-# counts, same code paths) and assert it emits parseable JSON. Thresholds
-# are judged by humans against EXPERIMENTS.md § "PERF GATE", not here.
+# counts, same code paths) and assert it emits parseable JSON — both the
+# PHY baseline and the net_scale fleet sweep. Thresholds are judged by
+# humans against EXPERIMENTS.md § "PERF GATE", not here.
 WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
+    WITAG_PERF_NET_OUT=/tmp/witag_net_smoke.json \
     cargo run -q --release -p witag-bench --bin perf_gate > /dev/null
 python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"
+python3 -c "import json; r = json.load(open('/tmp/witag_net_smoke.json')); assert r['scale'], r"
 
 # Trace smoke: a parallel sweep streamed to a witag-obs/1 JSONL trace,
 # then aggregated by `report`. Asserts the trace carries the schema
@@ -32,3 +35,11 @@ cargo run -q --release -p witag-cli -- sweep --from 1 --to 2 --step 1 \
 head -n 1 /tmp/witag_trace_smoke.jsonl | grep -q '"schema":"witag-obs/1"'
 cargo run -q --release -p witag-cli -- report /tmp/witag_trace_smoke.jsonl \
     | grep -q 'sweep_point'
+
+# Fleet smoke: a contended multi-tag run under the airtime-fair scheduler,
+# traced and then aggregated — the report must see the net.* events.
+cargo run -q --release -p witag-cli -- net --clients 2 --tags 8 \
+    --scheduler fair --trace /tmp/witag_net_trace_smoke.jsonl
+grep -q '"kind":"net.grant"' /tmp/witag_net_trace_smoke.jsonl
+cargo run -q --release -p witag-cli -- report /tmp/witag_net_trace_smoke.jsonl \
+    | grep -q 'fleet sessions'

@@ -8,7 +8,7 @@
 use witag::query::QueryDesign;
 use witag_bench::header;
 use witag_channel::{Link, LinkConfig};
-use witag_mac::dcf::{simulate, DcfStation};
+use witag_mac::dcf::{airtime_share, simulate, DcfStation};
 use witag_sim::geom::Floorplan;
 use witag_sim::time::Duration;
 use witag_tag::oscillator::Oscillator;
@@ -51,15 +51,14 @@ fn main() {
             DcfStation::saturated(Duration::micros(1200)); // data stations
             n_others
         ]);
-        let out = simulate(stations, Duration::secs(4), 0xF02 + n_others as u64);
-        let querier = &out.stations[0];
-        let qps = querier.delivered as f64 / out.elapsed.as_secs_f64();
+        let out = simulate(&mut stations, Duration::secs(4), 0xF02 + n_others as u64);
+        let qps = stations[0].delivered as f64 / out.elapsed.as_secs_f64();
         println!(
             "{:>12} {:>14.0} {:>16.1} {:>14.3} {:>14.3}",
             n_others + 1,
             qps,
             qps * design.bits_per_query() as f64 / 1e3,
-            out.airtime_share(0),
+            airtime_share(&stations, 0),
             out.collision_probability()
         );
     }

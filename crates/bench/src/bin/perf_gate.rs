@@ -5,7 +5,10 @@
 //! reuse, the flat Viterbi kernel) in ns/op and the full end-to-end query
 //! round in rounds/sec, serial vs the sharded parallel runner, then
 //! writes `BENCH_phy.json` (current directory, or `WITAG_PERF_OUT`) and
-//! prints the same JSON to stdout.
+//! prints the same JSON to stdout. A second `net_scale` section sweeps
+//! a duty-cycled fleet over tags ∈ {1, 10, 100, 1000} comparing the
+//! airtime-fair scheduler against serial polling, and writes
+//! `BENCH_net.json` (or `WITAG_PERF_NET_OUT`).
 //!
 //! The JSON is hand-rolled — the offline crate set has no serde — and
 //! deliberately flat so `python3 -c "import json,sys; json.load(...)"`,
@@ -31,11 +34,13 @@ use std::time::Instant;
 
 use witag::experiment::{Experiment, ExperimentConfig};
 use witag_faults::FaultPlan;
+use witag_net::{run_fleet, FleetConfig, SchedulerKind};
 use witag_phy::convolutional::{bits_to_llrs, encode_stream, viterbi_decode_stream};
 use witag_phy::mcs::Mcs;
 use witag_phy::ppdu::{transmit, PhyConfig};
 use witag_phy::receiver::{receive, receive_with_scratch, RxScratch};
-use witag_obs::BufferRecorder;
+use witag_obs::{BufferRecorder, NullRecorder};
+use witag_sim::time::Duration;
 use witag_sim::Rng;
 
 fn quick() -> bool {
@@ -157,4 +162,53 @@ fn main() {
     std::fs::write(&out, format!("{json}\n")).expect("write perf JSON");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    // --- net_scale: fleet scheduling vs serial polling ----------------
+    // A duty-cycled inventory fleet (tags awake 8% of each 4 s period,
+    // phases spread) is where scheduling pays: serial polling burns the
+    // medium probing sleeping tags while the airtime-fair scheduler's
+    // cooldown steers grants to tags that answer. Goodput is delivered
+    // message bits over elapsed medium time, so the ratio is the
+    // headline "scheduled vs naive" number the acceptance criteria gate
+    // on (≥10× at 100 tags).
+    let sizes: &[usize] = if quick { &[1, 10] } else { &[1, 10, 100, 1000] };
+    let mut rows = Vec::new();
+    for &tags in sizes {
+        // The horizon grows with the fleet past 100 tags: the medium
+        // physically cannot inventory 1000 duty-cycled tags in 20 s, so
+        // a flat horizon would measure saturation, not scheduling.
+        let horizon = if quick {
+            Duration::secs(6)
+        } else {
+            Duration::secs(20 * tags.div_ceil(100).max(1) as u64)
+        };
+        let bench = |kind: SchedulerKind| {
+            let cfg = FleetConfig::inventory(1, tags, kind, horizon, 0xBE)
+                .with_duty_cycle(Duration::secs(4), 0.08);
+            let t0 = Instant::now();
+            let rep = run_fleet(&cfg, &mut NullRecorder).expect("viable fleet");
+            (rep, t0.elapsed().as_secs_f64() * 1e3)
+        };
+        let (fair, fair_wall_ms) = bench(SchedulerKind::Fair);
+        let (serial, _) = bench(SchedulerKind::Serial);
+        let ratio = fair.goodput_bps() / serial.goodput_bps().max(1e-9);
+        rows.push(format!(
+            "    {{ \"tags\": {tags}, \"horizon_s\": {:.0}, \"fair_goodput_bps\": {:.1}, \"serial_goodput_bps\": {:.1}, \"goodput_ratio\": {ratio:.2}, \"fair_delivered\": {}, \"serial_delivered\": {}, \"fair_p99_latency_us\": {:.0}, \"fair_wall_ms\": {fair_wall_ms:.1} }}",
+            horizon.as_secs_f64(),
+            fair.goodput_bps(),
+            serial.goodput_bps(),
+            fair.delivered(),
+            serial.delivered(),
+            fair.latency_percentile(99.0).unwrap_or(0.0),
+        ));
+    }
+    let net_json = format!(
+        "{{\n  \"schema\": \"witag-net-scale-v1\",\n  \"quick\": {quick},\n  \"duty\": {{ \"period_s\": 4, \"on_fraction\": 0.08 }},\n  \"scale\": [\n{}\n  ]\n}}",
+        rows.join(",\n"),
+    );
+    let net_out =
+        std::env::var("WITAG_PERF_NET_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+    std::fs::write(&net_out, format!("{net_json}\n")).expect("write net perf JSON");
+    println!("{net_json}");
+    eprintln!("wrote {net_out}");
 }

@@ -12,6 +12,10 @@
 //! witag faults [--message "text"] [--intensity 1.0] [--distance 1]
 //!              [--seed 42] [--plan-seed 7] [--budget 3000]
 //!              [--trace out.jsonl]
+//! witag net    [--clients 2] [--tags 8] [--scheduler rr|fair|edf|serial]
+//!              [--horizon 2000] [--seed 42] [--window 4]
+//!              [--duty 0.0] [--duty-period 4000]
+//!              [--replicas 1] [--threads N] [--trace out.jsonl]
 //! witag report <trace.jsonl>
 //! witag floorplan
 //! ```
@@ -36,9 +40,11 @@ use witag::tagnet::{
     deliver, session_over_experiment, session_over_experiment_obs, SessionConfig, SessionOutcome,
 };
 use witag_faults::FaultPlan;
-use witag_obs::{BufferRecorder, Event, JsonlRecorder, Recorder, TraceSummary};
+use witag_net::{run_replicas, FleetConfig, FleetReport, SchedulerKind};
+use witag_obs::{BufferRecorder, Event, JsonlRecorder, NullRecorder, Recorder, TraceSummary};
 use witag_channel::{Link, LinkConfig};
 use witag_sim::geom::Floorplan;
+use witag_sim::time::Duration;
 use witag_tag::device::BitEncoding;
 use witag_tag::oscillator::Oscillator;
 
@@ -60,6 +66,7 @@ fn main() {
         "design" => cmd_design(&parsed),
         "send" => cmd_send(&parsed),
         "faults" => cmd_faults(&parsed),
+        "net" => cmd_net(&parsed),
         "report" => cmd_report(&parsed),
         "floorplan" => cmd_floorplan(&parsed),
         "help" | "--help" | "-h" => {
@@ -94,9 +101,12 @@ fn usage() {
          \x20 send       deliver a message via the reliable transport\n\
          \x20 faults     run the resilient session under injected faults\n\
          \x20            (single session; deterministic for --seed/--plan-seed)\n\
+         \x20 net        fleet run: N clients x M tags on one medium under a\n\
+         \x20            --scheduler (rr|fair|edf|serial); prints goodput,\n\
+         \x20            latency percentiles, airtime shares, collision rate\n\
          \x20 report     summarise a --trace JSONL file (docs/OBS_SCHEMA.md)\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
-         `sweep` and `faults` accept --trace <path> to stream a\n\
+         `sweep`, `faults` and `net` accept --trace <path> to stream a\n\
          witag-obs/1 event trace; see EXPERIMENTS.md (TRACE + REPORT,\n\
          PERF GATE) for walkthroughs.\n\
          run `witag <cmd> --help` semantics: all options have defaults;\n\
@@ -425,6 +435,100 @@ fn cmd_faults(a: &Args) -> Result<(), ArgError> {
         }
     }
     Ok(())
+}
+
+fn cmd_net(a: &Args) -> Result<(), ArgError> {
+    let clients = a.usize_or("clients", 2)?;
+    let tags = a.usize_or("tags", 8)?;
+    let sched_name = a.str_or("scheduler", "fair").to_string();
+    let scheduler = match SchedulerKind::parse(&sched_name) {
+        Some(k) => k,
+        None => {
+            return Err(ArgError::BadValue {
+                key: "scheduler".into(),
+                value: sched_name,
+                expected: "rr|fair|edf|serial",
+            })
+        }
+    };
+    let horizon_ms = a.u64_or("horizon", 2000)?;
+    let seed = a.u64_or("seed", 42)?;
+    let window = a.usize_or("window", 4)?;
+    let duty = a.f64_or("duty", 0.0)?;
+    let duty_period_ms = a.u64_or("duty-period", 4000)?;
+    let replicas = a.usize_or("replicas", 1)?;
+    let threads = a.usize_or("threads", witag_sim::available_threads())?;
+    let trace = trace_arg(a)?;
+    a.reject_unknown()?;
+    let mut cfg = FleetConfig::inventory(
+        clients,
+        tags,
+        scheduler,
+        Duration::millis(horizon_ms),
+        seed,
+    );
+    cfg.window = window;
+    if duty > 0.0 {
+        cfg = cfg.with_duty_cycle(Duration::millis(duty_period_ms), duty);
+    }
+    let outcome = if let Some(path) = &trace {
+        let mut rec = open_trace(path);
+        let r = run_replicas(&cfg, replicas, threads, &mut rec);
+        close_trace(rec, path);
+        r
+    } else {
+        run_replicas(&cfg, replicas, threads, &mut NullRecorder)
+    };
+    let reports = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet not viable: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fleet: {clients} client(s) x {tags} tag(s) | scheduler {} | horizon {horizon_ms} ms | seed {seed}",
+        scheduler.name()
+    );
+    if duty > 0.0 {
+        println!(
+            "duty cycle: {duty:.2} ON fraction over {duty_period_ms} ms periods (phases spread)"
+        );
+    }
+    for (i, rep) in reports.iter().enumerate() {
+        print_fleet_report(i, tags, rep);
+    }
+    Ok(())
+}
+
+/// Render one replica's fleet report in the CLI's fixed format.
+fn print_fleet_report(replica: usize, tags: usize, rep: &FleetReport) {
+    let shares = rep.airtime_shares();
+    let min_share = shares.iter().copied().fold(f64::MAX, f64::min);
+    let max_share = shares.iter().copied().fold(0.0, f64::max);
+    let pct = |p: f64| {
+        rep.latency_percentile(p)
+            .map_or_else(|| "-".to_string(), |us| format!("{:.1}", us / 1000.0))
+    };
+    println!(
+        "replica {replica}: delivered {}/{tags} | grants {} | collisions {} (rate {:.3}) | elapsed {:.1} ms",
+        rep.delivered(),
+        rep.grants,
+        rep.collisions,
+        rep.collision_rate(),
+        rep.elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "          goodput {:.1} Kbps | read latency ms p50 {} p90 {} p99 {} | airtime share min {:.3} max {:.3} | deadlines met {}/{}",
+        rep.goodput_bps() / 1e3,
+        pct(50.0),
+        pct(90.0),
+        pct(99.0),
+        min_share,
+        max_share,
+        rep.deadline_hits(),
+        rep.delivered()
+    );
 }
 
 fn cmd_report(a: &Args) -> Result<(), ArgError> {

@@ -503,7 +503,10 @@ fn base_report_payload(base: usize) -> Vec<u8> {
 
 /// Parse a decoded chunk as a base report; the chunk seq must echo the
 /// reported base mod 16 (a cheap consistency check on top of the CRC).
-fn parse_base_report(seq: u8, payload: &[u8]) -> Option<usize> {
+/// Public so external session drivers (the `witag-net` fleet layer)
+/// can interpret slide/resync responses without reimplementing the
+/// framing.
+pub fn parse_base_report(seq: u8, payload: &[u8]) -> Option<usize> {
     let magic = payload[..8].iter().fold(0u8, |acc, &b| (acc << 1) | b);
     if magic != BASE_REPORT_MAGIC {
         return None;

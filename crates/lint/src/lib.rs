@@ -36,7 +36,7 @@ use std::path::{Path, PathBuf};
 /// `.expect()` / `panic!` / `todo!` / `unimplemented!` forbidden outside
 /// tests). These are the crates a million-round sweep executes.
 pub const PANIC_SCOPE: &[&str] =
-    &["phy", "mac", "crypto", "channel", "tag", "core", "faults", "obs"];
+    &["phy", "mac", "crypto", "channel", "tag", "core", "faults", "obs", "net"];
 
 /// Crates whose library sources must be deterministic (no wall-clock, no
 /// ad-hoc threads, no entropy, no default-hasher collections). Everything
@@ -45,7 +45,7 @@ pub const PANIC_SCOPE: &[&str] =
 /// `std::time` and stay out.
 pub const DETERMINISM_SCOPE: &[&str] = &[
     "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "cli", "lint",
-    "obs",
+    "obs", "net",
 ];
 
 /// Files exempt from the determinism pass because they *implement* the
@@ -56,7 +56,7 @@ pub const DETERMINISM_SANCTIONED: &[&str] = &["crates/sim/src/parallel.rs"];
 /// historically built under `missing_docs`).
 pub const DOCS_SCOPE: &[&str] = &[
     "phy", "mac", "crypto", "channel", "tag", "core", "faults", "sim", "baselines", "bench", "lint",
-    "obs",
+    "obs", "net",
 ];
 
 /// Lint the workspace rooted at `root` (the directory holding the

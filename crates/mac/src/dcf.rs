@@ -70,58 +70,55 @@ impl DcfStation {
     }
 }
 
-/// Result of a DCF simulation.
-#[derive(Debug, Clone)]
+/// Result of a DCF simulation. Per-station counters stay in the
+/// caller's `&mut [DcfStation]` — [`simulate`] borrows the stations
+/// instead of consuming and returning them, so callers keep ownership
+/// and nothing is cloned.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DcfOutcome {
-    /// Per-station copies with their counters filled in.
-    pub stations: Vec<DcfStation>,
     /// Total simulated time.
     pub elapsed: Duration,
     /// Total collision events on the medium.
     pub collision_events: u64,
     /// Total successful transmissions.
     pub successes: u64,
+    /// Station-side collision participations (each collision event
+    /// counts once per involved station).
+    pub collision_participations: u64,
 }
 
 impl DcfOutcome {
-    /// A station's fraction of the total successful airtime.
-    pub fn airtime_share(&self, idx: usize) -> f64 {
-        let total: f64 = self
-            .stations
-            .iter()
-            .map(|s| s.airtime_used.as_secs_f64())
-            .sum();
-        if total == 0.0 {
-            0.0
-        } else {
-            self.stations[idx].airtime_used.as_secs_f64() / total
-        }
-    }
-
-    /// Conditional collision probability: collisions / attempts.
+    /// Conditional collision probability: collided attempts / attempts.
     pub fn collision_probability(&self) -> f64 {
-        let attempts: u64 = self.successes
-            + self
-                .stations
-                .iter()
-                .map(|s| s.collisions)
-                .sum::<u64>();
+        let attempts = self.successes + self.collision_participations;
         if attempts == 0 {
             0.0
         } else {
-            (attempts - self.successes) as f64 / attempts as f64
+            self.collision_participations as f64 / attempts as f64
         }
     }
 }
 
-/// Run DCF with the given stations for `horizon` of simulated time.
-pub fn simulate(mut stations: Vec<DcfStation>, horizon: Duration, seed: u64) -> DcfOutcome {
+/// A station's fraction of the total successful airtime after a
+/// [`simulate`] run.
+pub fn airtime_share(stations: &[DcfStation], idx: usize) -> f64 {
+    let total: f64 = stations.iter().map(|s| s.airtime_used.as_secs_f64()).sum();
+    match stations.get(idx) {
+        Some(s) if total > 0.0 => s.airtime_used.as_secs_f64() / total,
+        _ => 0.0,
+    }
+}
+
+/// Run DCF with the given stations for `horizon` of simulated time,
+/// accumulating per-station counters in place.
+pub fn simulate(stations: &mut [DcfStation], horizon: Duration, seed: u64) -> DcfOutcome {
     assert!(!stations.is_empty());
     let mut rng = Rng::seed_from_u64(seed);
     let mut now = Instant::ZERO;
     let end = Instant::ZERO + horizon;
     let mut collision_events = 0u64;
     let mut successes = 0u64;
+    let mut collision_participations = 0u64;
 
     // Initialise arrivals.
     for s in stations.iter_mut() {
@@ -211,6 +208,7 @@ pub fn simulate(mut stations: Vec<DcfStation>, horizon: Duration, seed: u64) -> 
             for &i in &winners {
                 let s = &mut stations[i];
                 s.collisions += 1;
+                collision_participations += 1;
                 s.contention.on_failure();
                 s.backoff_slots = None;
             }
@@ -218,10 +216,10 @@ pub fn simulate(mut stations: Vec<DcfStation>, horizon: Duration, seed: u64) -> 
     }
 
     DcfOutcome {
-        stations,
         elapsed: now - Instant::ZERO,
         collision_events,
         successes,
+        collision_participations,
     }
 }
 
@@ -233,21 +231,19 @@ mod tests {
 
     #[test]
     fn single_station_never_collides() {
-        let out = simulate(vec![DcfStation::saturated(FRAME)], Duration::secs(1), 1);
+        let mut stations = vec![DcfStation::saturated(FRAME)];
+        let out = simulate(&mut stations, Duration::secs(1), 1);
         assert_eq!(out.collision_events, 0);
-        assert!(out.stations[0].delivered > 400, "got {}", out.stations[0].delivered);
+        assert!(stations[0].delivered > 400, "got {}", stations[0].delivered);
     }
 
     #[test]
     fn saturated_stations_share_fairly() {
         let n = 4;
-        let out = simulate(
-            vec![DcfStation::saturated(FRAME); n],
-            Duration::secs(4),
-            2,
-        );
+        let mut stations = vec![DcfStation::saturated(FRAME); n];
+        simulate(&mut stations, Duration::secs(4), 2);
         for i in 0..n {
-            let share = out.airtime_share(i);
+            let share = airtime_share(&stations, i);
             assert!(
                 (share - 1.0 / n as f64).abs() < 0.05,
                 "station {i} share {share}"
@@ -258,8 +254,8 @@ mod tests {
     #[test]
     fn collision_probability_grows_with_population() {
         let p = |n: usize| {
-            simulate(vec![DcfStation::saturated(FRAME); n], Duration::secs(2), 3)
-                .collision_probability()
+            let mut stations = vec![DcfStation::saturated(FRAME); n];
+            simulate(&mut stations, Duration::secs(2), 3).collision_probability()
         };
         let p2 = p(2);
         let p8 = p(8);
@@ -268,10 +264,19 @@ mod tests {
     }
 
     #[test]
+    fn collision_probability_matches_station_counters() {
+        let mut stations = vec![DcfStation::saturated(FRAME); 4];
+        let out = simulate(&mut stations, Duration::secs(2), 7);
+        let per_station: u64 = stations.iter().map(|s| s.collisions).sum();
+        assert_eq!(out.collision_participations, per_station);
+        assert!(out.collision_participations >= 2 * out.collision_events);
+    }
+
+    #[test]
     fn aggregate_throughput_degrades_gracefully() {
         let total = |n: usize| {
-            let out = simulate(vec![DcfStation::saturated(FRAME); n], Duration::secs(2), 4);
-            out.successes
+            let mut stations = vec![DcfStation::saturated(FRAME); n];
+            simulate(&mut stations, Duration::secs(2), 4).successes
         };
         let t1 = total(1);
         let t8 = total(8);
@@ -287,8 +292,8 @@ mod tests {
         // gets every frame through (queue does not blow up).
         let mut stations = vec![DcfStation::saturated(FRAME); 2];
         stations.push(DcfStation::poisson(Duration::micros(300), 50.0));
-        let out = simulate(stations, Duration::secs(4), 5);
-        let sensor = &out.stations[2];
+        simulate(&mut stations, Duration::secs(4), 5);
+        let sensor = &stations[2];
         // ~200 arrivals in 4 s.
         assert!(
             sensor.delivered >= 150,
@@ -299,9 +304,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = simulate(vec![DcfStation::saturated(FRAME); 3], Duration::secs(1), 9);
-        let b = simulate(vec![DcfStation::saturated(FRAME); 3], Duration::secs(1), 9);
-        assert_eq!(a.successes, b.successes);
-        assert_eq!(a.collision_events, b.collision_events);
+        let mut sa = vec![DcfStation::saturated(FRAME); 3];
+        let mut sb = vec![DcfStation::saturated(FRAME); 3];
+        let a = simulate(&mut sa, Duration::secs(1), 9);
+        let b = simulate(&mut sb, Duration::secs(1), 9);
+        assert_eq!(a, b);
     }
 }

@@ -30,7 +30,7 @@ pub mod header;
 pub mod security;
 
 pub use access::{exchange_timing, Contention, ExchangeTiming};
-pub use dcf::{simulate as simulate_dcf, DcfOutcome, DcfStation};
+pub use dcf::{airtime_share, simulate as simulate_dcf, DcfOutcome, DcfStation};
 pub use ampdu::{aggregate, deaggregate, Mpdu, SubframeExtent, SubframeOutcome};
 pub use blockack::BlockAck;
 pub use header::{Addr, FrameKind, MacHeader, MacParseError};

@@ -1,0 +1,1001 @@
+//! The fleet network layer: N clients × M tags on one shared medium.
+//!
+//! A deterministic discrete-event simulation built on
+//! [`witag_sim::EventQueue`]: clients contend for medium access with the
+//! same binary-exponential backoff the [`witag_mac::dcf`] simulator
+//! models, every grant runs one query round of one tag's concurrent
+//! [`SessionSender`] session, and airtime comes from the real PHY
+//! arithmetic (`witag_phy::ppdu::PhyConfig::airtime` plus SIFS and a
+//! legacy-rate block ACK). When two clients' backoff counters expire
+//! together both transmit: the medium is busy for the longest exchange
+//! and the overlapping fraction of each readout is bit-corrupted, so a
+//! collision feeds back through the normal chunk-CRC/ARQ path of the
+//! session transport — not through a shortcut loss probability.
+//!
+//! Per-link impairments compose from two sources:
+//!
+//! * a [`witag_faults::FaultPlan`] driven through a per-link
+//!   [`FaultInjector`] (the same verdict→bit mapping the transport
+//!   integration tests use), and
+//! * an optional [`DutyCycle`] modelling energy-harvesting tags that
+//!   are only awake during periodic ON windows of *simulated time* —
+//!   the regime where scheduling matters most, because a serial poller
+//!   burns the whole medium waiting out each tag's sleep while a
+//!   scheduler serves whoever is awake.
+//!
+//! Every run is a pure function of [`FleetConfig::seed`];
+//! [`run_replicas`] fans independent replicas over threads with
+//! buffered per-replica traces replayed in replica order, so traces and
+//! stats are byte-identical at any thread count.
+
+use witag::tagnet::{
+    decode_chunk, parse_base_report, SessionQuery, SessionSender, TagnetError,
+    CHUNK_PAYLOAD_BITS, MIN_CHANNEL_BITS,
+};
+use witag_crypto::crc8;
+use witag_faults::{FaultInjector, FaultPlan, RoundFaults};
+use witag_mac::access::Contention;
+use witag_obs::{BufferRecorder, Event, NullRecorder, Recorder};
+use witag_phy::airtime::{block_ack_airtime, LegacyRate};
+use witag_phy::mcs::Mcs;
+use witag_phy::params::timing;
+use witag_phy::ppdu::PhyConfig;
+use witag_sim::stats::SampleSet;
+use witag_sim::time::{Duration, Instant};
+use witag_sim::{par_map, EventQueue, Rng};
+
+use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
+
+/// Airtime of the duration-coded marker signature preceding every query
+/// (three bursts plus gaps) — a fixed envelope matching the query
+/// designer's marker arithmetic at the fleet layer's level of
+/// abstraction.
+pub const MARKER_AIRTIME: Duration = Duration::micros(320);
+
+/// Flip probability applied while an oscillator-drift episode is live
+/// (the tag corrupts the wrong subframes); mirrors the synthetic
+/// channel the transport integration tests drive.
+const DRIFT_SMEAR_FLIP: f64 = 0.3;
+
+/// Consecutive dead rounds (no modulated readout) before a link enters
+/// cooldown and the scheduler stops offering it.
+const COOLDOWN_AFTER: u32 = 2;
+
+/// Cooldown growth cap: `exchange_airtime << 6` = 64 exchanges, small
+/// enough that a duty-cycled tag's ON window is never skipped whole.
+const COOLDOWN_CAP_EXP: u32 = 6;
+
+/// Energy-harvesting duty cycle: the tag is awake only while
+/// `(now + phase) mod period` falls inside the ON fraction. Purely a
+/// function of simulated time, so a scheduler that backs off a sleeping
+/// link genuinely saves airtime (unlike round-indexed fault episodes,
+/// which advance only when the link is probed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Full charge/discharge period.
+    pub period: Duration,
+    /// Fraction of the period the tag is awake, in `(0, 1]`.
+    pub on_fraction: f64,
+    /// Phase offset into the period at fleet start.
+    pub phase: Duration,
+}
+
+impl DutyCycle {
+    /// Whether the tag can respond at simulated time `now`.
+    pub fn awake(&self, now: Instant) -> bool {
+        let period = self.period.as_nanos().max(1);
+        let t = (now.nanos() + self.phase.as_nanos()) % period;
+        (t as f64) < self.on_fraction * period as f64
+    }
+}
+
+/// Per-tag link profile: everything heterogeneous about one tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagProfile {
+    /// Channel bits one query can carry to this tag (per-query
+    /// capacity; must be ≥ [`MIN_CHANNEL_BITS`]).
+    pub channel_bits: usize,
+    /// Bytes per query subframe — drives this link's exchange airtime.
+    pub subframe_bytes: usize,
+    /// The message queued on this tag.
+    pub message: Vec<u8>,
+    /// Freshness deadline for the read, from fleet start (EDF input;
+    /// reported as met/missed, never enforced).
+    pub deadline: Duration,
+    /// Optional per-link fault plan.
+    pub faults: Option<FaultPlan>,
+    /// Optional energy-harvesting duty cycle.
+    pub duty: Option<DutyCycle>,
+}
+
+/// Complete description of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of querying clients contending for the medium.
+    pub clients: usize,
+    /// Scheduling policy every client runs over its tags.
+    pub scheduler: SchedulerKind,
+    /// Simulated-time budget for the run.
+    pub horizon: Duration,
+    /// Master seed; every stream (MAC backoff, fault plans, collision
+    /// corruption) forks from it.
+    pub seed: u64,
+    /// Session selective-repeat window (1..=`MAX_WINDOW`).
+    pub window: usize,
+    /// Per-tag link profiles; tag `i` is assigned to client
+    /// `i % clients`.
+    pub profiles: Vec<TagProfile>,
+}
+
+impl FleetConfig {
+    /// A deterministic heterogeneous inventory fleet: `tags` tags with
+    /// cycling per-query capacities, subframe sizes and message
+    /// lengths, staggered deadlines, clean links (no faults, no duty
+    /// cycling).
+    pub fn inventory(
+        clients: usize,
+        tags: usize,
+        scheduler: SchedulerKind,
+        horizon: Duration,
+        seed: u64,
+    ) -> FleetConfig {
+        let mut rng = Rng::seed_from_u64(seed).fork(0xA0);
+        let profiles = (0..tags)
+            .map(|i| {
+                let mut message = vec![0u8; 12 + (i % 5) * 6];
+                rng.fill_bytes(&mut message);
+                TagProfile {
+                    channel_bits: MIN_CHANNEL_BITS + (i % 4) * 2,
+                    subframe_bytes: 48 << (i % 3),
+                    message,
+                    deadline: Duration::nanos(
+                        horizon.as_nanos() / tags.max(1) as u64 * (i as u64 + 1),
+                    ),
+                    faults: None,
+                    duty: None,
+                }
+            })
+            .collect();
+        FleetConfig {
+            clients,
+            scheduler,
+            horizon,
+            seed,
+            window: 4,
+            profiles,
+        }
+    }
+
+    /// Give every tag an energy-harvesting duty cycle with the given
+    /// period and ON fraction, phases spread deterministically so the
+    /// fleet's ON windows interleave.
+    pub fn with_duty_cycle(mut self, period: Duration, on_fraction: f64) -> FleetConfig {
+        for (i, p) in self.profiles.iter_mut().enumerate() {
+            p.duty = Some(DutyCycle {
+                period,
+                on_fraction,
+                phase: Duration::nanos(
+                    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % period.as_nanos().max(1),
+                ),
+            });
+        }
+        self
+    }
+
+    /// The same fleet under a different master seed: fault-plan seeds
+    /// are re-derived from the new seed (the replica runner uses this
+    /// so replicas are statistically independent).
+    pub fn reseeded(&self, seed: u64) -> FleetConfig {
+        let mut cfg = self.clone();
+        cfg.seed = seed;
+        let mut rng = Rng::seed_from_u64(seed).fork(0xF1);
+        for p in cfg.profiles.iter_mut() {
+            let s = rng.next_u64();
+            if let Some(plan) = p.faults.as_mut() {
+                plan.seed = s;
+            }
+        }
+        cfg
+    }
+}
+
+/// Why a fleet could not be constructed or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The fleet has no clients.
+    NoClients,
+    /// The fleet has no tag profiles.
+    NoTags,
+    /// A tag's per-query capacity cannot carry one transport chunk.
+    ChannelTooSmall {
+        /// Offending tag index.
+        tag: usize,
+        /// Its configured per-query capacity.
+        channel_bits: usize,
+    },
+    /// The session transport rejected a profile (window or message).
+    Transport(TagnetError),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::NoClients => write!(f, "fleet needs at least one client"),
+            NetError::NoTags => write!(f, "fleet needs at least one tag"),
+            NetError::ChannelTooSmall { tag, channel_bits } => write!(
+                f,
+                "tag {tag}: {channel_bits} channel bits cannot carry a chunk \
+                 (need {MIN_CHANNEL_BITS})"
+            ),
+            NetError::Transport(e) => write!(f, "session transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<TagnetError> for NetError {
+    fn from(e: TagnetError) -> Self {
+        NetError::Transport(e)
+    }
+}
+
+/// Outcome of one tag's session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagOutcome {
+    /// Fleet-wide tag index.
+    pub tag: usize,
+    /// The client that served this tag.
+    pub client: usize,
+    /// Whether the end-to-end-CRC-verified message was delivered.
+    pub delivered: bool,
+    /// Completion time from fleet start, if the session finished.
+    pub latency: Option<Duration>,
+    /// Query rounds spent on this link (collisions included).
+    pub rounds: u32,
+    /// Airtime this link consumed.
+    pub airtime: Duration,
+    /// Distinct chunk payload bits recovered (header included).
+    pub payload_bits: u32,
+    /// The message's size in bits (goodput numerator when delivered).
+    pub message_bits: u64,
+    /// Whether a delivered read beat its freshness deadline.
+    pub deadline_met: bool,
+}
+
+/// Aggregate result of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The policy that produced this run.
+    pub scheduler: SchedulerKind,
+    /// Clients that contended.
+    pub clients: usize,
+    /// Simulated time consumed (completion of the last round, capped at
+    /// the horizon).
+    pub elapsed: Duration,
+    /// Uncontested medium grants.
+    pub grants: u64,
+    /// Inter-query collision events.
+    pub collisions: u64,
+    /// Per-tag outcomes, in tag order.
+    pub tags: Vec<TagOutcome>,
+}
+
+impl FleetReport {
+    /// Tags whose message was delivered and CRC-verified.
+    pub fn delivered(&self) -> usize {
+        self.tags.iter().filter(|t| t.delivered).count()
+    }
+
+    /// Collisions per medium access.
+    pub fn collision_rate(&self) -> f64 {
+        let accesses = self.grants + self.collisions;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / accesses as f64
+        }
+    }
+
+    /// Aggregate goodput: delivered message bits over elapsed time.
+    pub fn goodput_bps(&self) -> f64 {
+        let bits: u64 = self
+            .tags
+            .iter()
+            .filter(|t| t.delivered)
+            .map(|t| t.message_bits)
+            .sum();
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            bits as f64 / secs
+        }
+    }
+
+    /// The `p`-th percentile of delivered read latencies, in
+    /// microseconds (`None` when nothing was delivered).
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        let mut samples = SampleSet::new();
+        for t in &self.tags {
+            if let (true, Some(lat)) = (t.delivered, t.latency) {
+                samples.push(lat.as_micros() as f64);
+            }
+        }
+        samples.percentile(p)
+    }
+
+    /// One tag's fraction of the fleet's total consumed airtime.
+    pub fn airtime_share(&self, tag: usize) -> f64 {
+        let total: f64 = self.tags.iter().map(|t| t.airtime.as_secs_f64()).sum();
+        match self.tags.get(tag) {
+            Some(t) if total > 0.0 => t.airtime.as_secs_f64() / total,
+            _ => 0.0,
+        }
+    }
+
+    /// Every tag's airtime share, in tag order.
+    pub fn airtime_shares(&self) -> Vec<f64> {
+        (0..self.tags.len()).map(|i| self.airtime_share(i)).collect()
+    }
+
+    /// Delivered reads that met their freshness deadline.
+    pub fn deadline_hits(&self) -> usize {
+        self.tags.iter().filter(|t| t.deadline_met).count()
+    }
+}
+
+/// Client-side steppable session state: the selective-repeat bookkeeping
+/// of `tagnet::run_session`'s driver, reduced to what a multiplexed
+/// fleet needs (one decode per round, no diversity batching — the
+/// scheduler decides when this tag gets another round, not the flow).
+#[derive(Debug, Clone)]
+struct FlowClient {
+    window: usize,
+    /// Client's belief of the tag window base; only updated from
+    /// decoded base reports, so it cannot silently diverge.
+    base: usize,
+    got: Vec<Option<Vec<u8>>>,
+    n_chunks: Option<usize>,
+    header: Option<(usize, u8)>,
+    pending_resync: bool,
+}
+
+impl FlowClient {
+    fn new(window: usize) -> Self {
+        FlowClient {
+            window,
+            base: 0,
+            got: vec![None],
+            n_chunks: None,
+            header: None,
+            pending_resync: false,
+        }
+    }
+
+    fn have(&self, abs: usize) -> bool {
+        self.got.get(abs).is_some_and(|c| c.is_some())
+    }
+
+    /// First missing slot in the current window (before the header
+    /// decodes, only chunk 0 is actionable).
+    fn next_missing_slot(&self) -> Option<u8> {
+        let end = self.n_chunks.unwrap_or(1);
+        (0..self.window as u8).find(|&k| {
+            let abs = self.base + k as usize;
+            abs < end && !self.have(abs)
+        })
+    }
+
+    fn next_query(&self) -> SessionQuery {
+        if self.pending_resync {
+            return SessionQuery::Resync;
+        }
+        match self.next_missing_slot() {
+            Some(k) => SessionQuery::Slot(k),
+            None => SessionQuery::Slide,
+        }
+    }
+
+    /// Fold one readout in; returns freshly recovered payload bits.
+    fn absorb(&mut self, q: &SessionQuery, readout: Option<&[u8]>, channel_bits: usize) -> usize {
+        let Some(bits) = readout else { return 0 };
+        if bits.iter().all(|&b| b == 1) {
+            return 0; // dead air: the tag never modulated
+        }
+        let Some((seq, payload)) = decode_chunk(bits, channel_bits) else {
+            return 0; // chunk CRC failed (noise, collision overlap)
+        };
+        match *q {
+            SessionQuery::Slot(k) => {
+                let abs = self.base + k as usize;
+                if seq == (abs % 16) as u8 {
+                    self.store(abs, payload)
+                } else {
+                    // Decodable but stale: the tag's window is
+                    // elsewhere — re-learn the base before spending
+                    // more slot queries.
+                    self.pending_resync = true;
+                    0
+                }
+            }
+            SessionQuery::Slide | SessionQuery::Resync => {
+                if let Some(base) = parse_base_report(seq, &payload) {
+                    self.base = base;
+                    self.pending_resync = false;
+                }
+                0
+            }
+            SessionQuery::Idle => 0,
+        }
+    }
+
+    fn store(&mut self, abs: usize, payload: Vec<u8>) -> usize {
+        if self.got.len() <= abs {
+            self.got.resize(abs + 1, None);
+        }
+        if self.got[abs].is_some() {
+            return 0; // duplicate
+        }
+        if abs == 0 {
+            let len = payload[..12]
+                .iter()
+                .fold(0usize, |acc, &b| (acc << 1) | b as usize);
+            let hcrc = payload[12..20].iter().fold(0u8, |acc, &b| (acc << 1) | b);
+            self.header = Some((len, hcrc));
+            self.n_chunks = Some(1 + (len * 8).div_ceil(CHUNK_PAYLOAD_BITS));
+        }
+        self.got[abs] = Some(payload);
+        CHUNK_PAYLOAD_BITS
+    }
+
+    fn complete(&self) -> bool {
+        self.n_chunks.is_some_and(|n| (0..n).all(|abs| self.have(abs)))
+    }
+
+    /// Reassemble and CRC-check the message; `None` on CRC mismatch
+    /// (or if called before completion).
+    fn assemble(&self) -> Option<Vec<u8>> {
+        let (len, hcrc) = self.header?;
+        let n = self.n_chunks?;
+        let mut bits = Vec::with_capacity(n.saturating_sub(1) * CHUNK_PAYLOAD_BITS);
+        for abs in 1..n {
+            bits.extend_from_slice(self.got.get(abs)?.as_deref()?);
+        }
+        let bytes: Vec<u8> = bits
+            .chunks(8)
+            .take(len)
+            .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+            .collect();
+        (bytes.len() == len && crc8(&bytes) == hcrc).then_some(bytes)
+    }
+}
+
+/// One tag's live link state inside the fleet loop.
+struct TagLink {
+    client: usize,
+    sender: SessionSender,
+    flow: FlowClient,
+    injector: Option<FaultInjector>,
+    duty: Option<DutyCycle>,
+    channel_bits: usize,
+    exchange: Duration,
+    deadline: Instant,
+    message_bits: u64,
+    ready_at: Instant,
+    dead_streak: u32,
+    airtime_used: Duration,
+    rounds: u32,
+    payload_bits: u32,
+    done: bool,
+    delivered: bool,
+    finished_at: Option<Instant>,
+}
+
+impl TagLink {
+    /// Execute one query round at `start`. `collision_frac` is the
+    /// fraction of this exchange overlapped by colliding transmissions
+    /// (bits in that prefix are flipped with probability ½, then judged
+    /// by the normal chunk CRC). Returns whether the client saw any
+    /// modulation (the link looked alive).
+    fn run_round(
+        &mut self,
+        mac_rng: &mut Rng,
+        start: Instant,
+        collision_frac: Option<f64>,
+    ) -> Result<bool, NetError> {
+        let q = self.flow.next_query();
+        let tx = self.sender.serve(&q, self.channel_bits)?;
+        let rf = match self.injector.as_mut() {
+            Some(inj) => inj.begin_round(),
+            None => RoundFaults::inert(),
+        };
+        let asleep = self.duty.is_some_and(|d| !d.awake(start));
+        let (tag_heard, mut readout) = if rf.query_lost {
+            (false, None)
+        } else if asleep || rf.brownout {
+            // The tag cannot afford to respond: every subframe sails
+            // through clean and the readout is the idle pattern.
+            (false, Some(vec![1u8; self.channel_bits]))
+        } else if rf.ba_lost {
+            (true, None)
+        } else {
+            let mut bits = tx;
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(p) = rf.readout_flip {
+                    inj.corrupt_readout(&mut bits, p);
+                }
+                if rf.clock_error != 0.0 {
+                    inj.corrupt_readout(&mut bits, DRIFT_SMEAR_FLIP);
+                }
+            }
+            (true, Some(bits))
+        };
+        // Colliding airtime corrupts delivered subframes at the AP, so
+        // the damage lands on the readout no matter what the tag did.
+        if let (Some(bits), Some(frac)) = (readout.as_mut(), collision_frac) {
+            let prefix = ((bits.len() as f64) * frac).ceil() as usize;
+            for b in bits.iter_mut().take(prefix.min(self.channel_bits)) {
+                if mac_rng.chance(0.5) {
+                    *b ^= 1;
+                }
+            }
+        }
+        if tag_heard {
+            self.sender.commit(&q);
+        }
+        let alive = readout.as_ref().is_some_and(|bits| bits.contains(&0));
+        self.payload_bits += self
+            .flow
+            .absorb(&q, readout.as_deref(), self.channel_bits) as u32;
+        self.rounds += 1;
+        Ok(alive)
+    }
+
+    /// Account a finished round: airtime, cooldown, completion. Returns
+    /// `true` iff the session just completed.
+    fn finish_round(&mut self, own: Duration, alive: bool, t_end: Instant) -> bool {
+        self.airtime_used += own;
+        if alive {
+            self.dead_streak = 0;
+            self.ready_at = t_end;
+        } else {
+            self.dead_streak = self.dead_streak.saturating_add(1);
+            if self.dead_streak >= COOLDOWN_AFTER {
+                let exp = self.dead_streak.min(COOLDOWN_CAP_EXP);
+                let mult = 1u64 << exp;
+                self.ready_at = t_end + self.exchange * mult;
+            } else {
+                self.ready_at = t_end;
+            }
+        }
+        if !self.done && self.flow.complete() {
+            self.done = true;
+            self.delivered = self.flow.assemble().is_some();
+            self.finished_at = Some(t_end);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn outcome(&self, tag: usize) -> TagOutcome {
+        TagOutcome {
+            tag,
+            client: self.client,
+            delivered: self.delivered,
+            latency: self.finished_at.map(|t| t - Instant::ZERO),
+            rounds: self.rounds,
+            airtime: self.airtime_used,
+            payload_bits: self.payload_bits,
+            message_bits: self.message_bits,
+            deadline_met: self.delivered
+                && self.finished_at.is_some_and(|t| t <= self.deadline),
+        }
+    }
+}
+
+/// Per-client MAC state: persistent backoff counter plus the policy.
+struct ClientState {
+    contention: Contention,
+    backoff_slots: Option<u64>,
+    sched: Box<dyn Scheduler>,
+}
+
+fn build_links(cfg: &FleetConfig) -> Result<Vec<TagLink>, NetError> {
+    let phy = PhyConfig::new(Mcs::ht(4));
+    let mut links = Vec::with_capacity(cfg.profiles.len());
+    for (tag, prof) in cfg.profiles.iter().enumerate() {
+        if prof.channel_bits < MIN_CHANNEL_BITS {
+            return Err(NetError::ChannelTooSmall {
+                tag,
+                channel_bits: prof.channel_bits,
+            });
+        }
+        let sender = SessionSender::new(&prof.message, cfg.window)?;
+        // Payload window plus two guard subframes, like the query
+        // designer's layouts.
+        let subframes = prof.channel_bits + 2;
+        let exchange = MARKER_AIRTIME
+            + phy.airtime(prof.subframe_bytes * subframes)
+            + timing::SIFS
+            + block_ack_airtime(LegacyRate::M24);
+        links.push(TagLink {
+            client: tag % cfg.clients,
+            sender,
+            flow: FlowClient::new(cfg.window),
+            injector: prof.faults.clone().map(FaultInjector::new),
+            duty: prof.duty,
+            channel_bits: prof.channel_bits,
+            exchange,
+            deadline: Instant::ZERO + prof.deadline,
+            message_bits: (prof.message.len() * 8) as u64,
+            ready_at: Instant::ZERO,
+            dead_streak: 0,
+            airtime_used: Duration::ZERO,
+            rounds: 0,
+            payload_bits: 0,
+            done: false,
+            delivered: false,
+            finished_at: None,
+        });
+    }
+    Ok(links)
+}
+
+/// Run one fleet to completion (or the horizon), emitting `net.*`
+/// events into `rec`. Deterministic: the report and the event stream
+/// are pure functions of the config.
+pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetReport, NetError> {
+    if cfg.clients == 0 {
+        return Err(NetError::NoClients);
+    }
+    if cfg.profiles.is_empty() {
+        return Err(NetError::NoTags);
+    }
+    let mut links = build_links(cfg)?;
+    let mut clients: Vec<ClientState> = (0..cfg.clients)
+        .map(|_| ClientState {
+            contention: Contention::new(),
+            backoff_slots: None,
+            sched: cfg.scheduler.build(),
+        })
+        .collect();
+    let mut mac_rng = Rng::seed_from_u64(cfg.seed).fork(0x3AC);
+    if rec.enabled() {
+        for (tag, link) in links.iter().enumerate() {
+            rec.record(&Event::NetEnqueue {
+                round: 0,
+                client: link.client as u32,
+                tag: tag as u32,
+                deadline_us: (link.deadline - Instant::ZERO).as_micros(),
+            });
+        }
+    }
+
+    let mut queue: EventQueue<()> = EventQueue::new();
+    queue.schedule(Instant::ZERO, ());
+    let end = Instant::ZERO + cfg.horizon;
+    let ignore_cooldown = cfg.scheduler.ignores_cooldown();
+    let mut fleet_round = 0u64;
+    let mut grants = 0u64;
+    let mut collisions = 0u64;
+    let mut elapsed = Duration::ZERO;
+
+    while let Some(wake) = queue.pop() {
+        let now = wake.at;
+        if now >= end || links.iter().all(|l| l.done) {
+            break;
+        }
+
+        // Servable tags per client, in ascending tag order.
+        let mut per_client: Vec<Vec<Candidate>> = vec![Vec::new(); cfg.clients];
+        for (tag, link) in links.iter().enumerate() {
+            if link.done || (!ignore_cooldown && link.ready_at > now) {
+                continue;
+            }
+            per_client[link.client].push(Candidate {
+                tag,
+                airtime_used: link.airtime_used,
+                round_airtime: link.exchange,
+                deadline: link.deadline,
+            });
+        }
+        let contenders: Vec<usize> = (0..cfg.clients)
+            .filter(|&c| !per_client[c].is_empty())
+            .collect();
+        if contenders.is_empty() {
+            // Nothing servable: idle forward to the earliest cooldown
+            // expiry (cheap — no airtime is burned).
+            match links.iter().filter(|l| !l.done).map(|l| l.ready_at).min() {
+                Some(t) => {
+                    queue.schedule(t.max(now + timing::SLOT), ());
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // DCF access: draw/hold per-client backoff counters, count down
+        // together; simultaneous expiry is a collision.
+        for &c in &contenders {
+            let st = &mut clients[c];
+            if st.backoff_slots.is_none() {
+                st.backoff_slots = Some(
+                    st.contention.draw_backoff(&mut mac_rng).as_nanos()
+                        / timing::SLOT.as_nanos(),
+                );
+            }
+        }
+        let min_slots = contenders
+            .iter()
+            .filter_map(|&c| clients[c].backoff_slots)
+            .min()
+            .unwrap_or(0);
+        let t_access = now + timing::DIFS + timing::SLOT * min_slots;
+        let winners: Vec<usize> = contenders
+            .iter()
+            .copied()
+            .filter(|&c| clients[c].backoff_slots == Some(min_slots))
+            .collect();
+        for &c in &contenders {
+            if let Some(b) = clients[c].backoff_slots.as_mut() {
+                *b -= min_slots.min(*b);
+            }
+        }
+
+        // Every winner's scheduler picks its tag; picks transmit
+        // simultaneously.
+        let picks: Vec<(usize, usize)> = winners
+            .iter()
+            .map(|&c| {
+                let pos = clients[c].sched.pick(&per_client[c]);
+                (c, per_client[c][pos].tag)
+            })
+            .collect();
+        let busy = picks
+            .iter()
+            .map(|&(_, t)| links[t].exchange)
+            .fold(Duration::ZERO, Duration::max);
+        let t_end = t_access + busy;
+
+        if picks.len() == 1 {
+            let (c, tag) = picks[0];
+            grants += 1;
+            if rec.enabled() {
+                rec.record(&Event::NetGrant {
+                    round: fleet_round,
+                    client: c as u32,
+                    tag: tag as u32,
+                    airtime_us: links[tag].exchange.as_micros(),
+                });
+            }
+            let own = links[tag].exchange;
+            let alive = links[tag].run_round(&mut mac_rng, t_access, None)?;
+            let completed = links[tag].finish_round(own, alive, t_end);
+            clients[c].sched.on_served(tag, own);
+            clients[c].contention.on_success();
+            clients[c].backoff_slots = None;
+            if completed && rec.enabled() {
+                record_session_done(rec, fleet_round, tag, &links[tag]);
+            }
+        } else {
+            collisions += 1;
+            if rec.enabled() {
+                rec.record(&Event::NetCollision {
+                    round: fleet_round,
+                    clients: picks.len() as u32,
+                    airtime_us: busy.as_micros(),
+                });
+            }
+            for &(c, tag) in &picks {
+                let own = links[tag].exchange;
+                let other_max = picks
+                    .iter()
+                    .filter(|&&(oc, _)| oc != c)
+                    .map(|&(_, t)| links[t].exchange)
+                    .fold(Duration::ZERO, Duration::max);
+                let frac =
+                    other_max.min(own).as_nanos() as f64 / own.as_nanos().max(1) as f64;
+                let alive = links[tag].run_round(&mut mac_rng, t_access, Some(frac))?;
+                let completed = links[tag].finish_round(own, alive, t_end);
+                clients[c].sched.on_served(tag, own);
+                clients[c].contention.on_failure();
+                clients[c].backoff_slots = None;
+                if completed && rec.enabled() {
+                    record_session_done(rec, fleet_round, tag, &links[tag]);
+                }
+            }
+        }
+        fleet_round += 1;
+        elapsed = t_end.min(end) - Instant::ZERO;
+        queue.schedule(t_end, ());
+    }
+
+    Ok(FleetReport {
+        scheduler: cfg.scheduler,
+        clients: cfg.clients,
+        elapsed,
+        grants,
+        collisions,
+        tags: links
+            .iter()
+            .enumerate()
+            .map(|(tag, link)| link.outcome(tag))
+            .collect(),
+    })
+}
+
+fn record_session_done(rec: &mut dyn Recorder, round: u64, tag: usize, link: &TagLink) {
+    let latency_us = link
+        .finished_at
+        .map_or(0, |t| (t - Instant::ZERO).as_micros());
+    rec.record(&Event::NetSessionDone {
+        round,
+        tag: tag as u32,
+        delivered: link.delivered,
+        rounds: link.rounds,
+        payload_bits: link.payload_bits,
+        latency_us,
+    });
+}
+
+/// Run `replicas` statistically independent copies of the fleet
+/// (per-replica seeds forked from [`FleetConfig::seed`]) across up to
+/// `threads` workers. Reports come back in replica order and, when
+/// `rec` is attached, each replica's buffered trace is replayed in
+/// replica order behind a `shard` marker — so the full trace is
+/// byte-identical for every thread count.
+pub fn run_replicas(
+    cfg: &FleetConfig,
+    replicas: usize,
+    threads: usize,
+    rec: &mut dyn Recorder,
+) -> Result<Vec<FleetReport>, NetError> {
+    if replicas == 0 {
+        return Ok(Vec::new());
+    }
+    let tracing = rec.enabled();
+    let results = par_map(replicas, threads, |r| {
+        let mut root = Rng::seed_from_u64(cfg.seed);
+        let rcfg = cfg.reseeded(root.fork(r as u64).next_u64());
+        let mut buf = BufferRecorder::new();
+        let rep = if tracing {
+            run_fleet(&rcfg, &mut buf)
+        } else {
+            run_fleet(&rcfg, &mut NullRecorder)
+        };
+        (rep, buf)
+    });
+    let mut reports = Vec::with_capacity(replicas);
+    for (r, (rep, buf)) in results.into_iter().enumerate() {
+        let rep = rep?;
+        if rec.enabled() {
+            rec.record(&Event::Shard {
+                index: r as u32,
+                base_round: 0,
+                rounds: (rep.grants + rep.collisions) as u32,
+            });
+            buf.replay_into(rec);
+        }
+        reports.push(rep);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witag_faults::FaultPlan;
+
+    fn small(clients: usize, tags: usize, kind: SchedulerKind) -> FleetConfig {
+        FleetConfig::inventory(clients, tags, kind, Duration::secs(5), 42)
+    }
+
+    #[test]
+    fn clean_fleet_delivers_every_tag() {
+        let rep = run_fleet(&small(2, 8, SchedulerKind::Fair), &mut NullRecorder)
+            .expect("valid fleet");
+        assert_eq!(rep.delivered(), 8, "{rep:?}");
+        assert!(rep.grants > 0);
+        assert!(rep.latency_percentile(99.0).is_some());
+        let shares: f64 = rep.airtime_shares().iter().sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let cfg = small(3, 10, SchedulerKind::Rr);
+        let a = run_fleet(&cfg, &mut NullRecorder).expect("valid");
+        let b = run_fleet(&cfg, &mut NullRecorder).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_clients_do_collide_and_recover() {
+        let mut buf = BufferRecorder::new();
+        let rep = run_fleet(&small(2, 8, SchedulerKind::Fair), &mut buf).expect("valid");
+        assert!(rep.collisions > 0, "contention model never collided");
+        assert_eq!(rep.delivered(), 8, "collisions must be survivable");
+        let kinds: Vec<&str> = buf.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"net.enqueue"));
+        assert!(kinds.contains(&"net.grant"));
+        assert!(kinds.contains(&"net.collision"));
+        assert!(kinds.contains(&"net.session_done"));
+    }
+
+    #[test]
+    fn duty_cycle_awake_windows() {
+        let d = DutyCycle {
+            period: Duration::millis(100),
+            on_fraction: 0.25,
+            phase: Duration::ZERO,
+        };
+        assert!(d.awake(Instant::ZERO));
+        assert!(d.awake(Instant::ZERO + Duration::millis(24)));
+        assert!(!d.awake(Instant::ZERO + Duration::millis(26)));
+        assert!(!d.awake(Instant::ZERO + Duration::millis(99)));
+        assert!(d.awake(Instant::ZERO + Duration::millis(101)));
+    }
+
+    #[test]
+    fn scheduler_beats_serial_polling_on_duty_cycled_fleet() {
+        let duty = |kind| {
+            small(1, 12, kind).with_duty_cycle(Duration::secs(2), 0.10)
+        };
+        let fair = run_fleet(&duty(SchedulerKind::Fair), &mut NullRecorder).expect("valid");
+        let serial =
+            run_fleet(&duty(SchedulerKind::Serial), &mut NullRecorder).expect("valid");
+        assert!(
+            fair.goodput_bps() > 2.0 * serial.goodput_bps(),
+            "fair {:.0} bps vs serial {:.0} bps",
+            fair.goodput_bps(),
+            serial.goodput_bps()
+        );
+    }
+
+    #[test]
+    fn hostile_links_still_converge() {
+        let mut cfg = small(2, 6, SchedulerKind::Fair);
+        for (i, p) in cfg.profiles.iter_mut().enumerate() {
+            p.faults = Some(FaultPlan::hostile_scaled(100 + i as u64, 0.5));
+        }
+        cfg.horizon = Duration::secs(20);
+        let rep = run_fleet(&cfg, &mut NullRecorder).expect("valid");
+        assert!(
+            rep.delivered() >= 5,
+            "hostile fleet delivered only {}/6",
+            rep.delivered()
+        );
+    }
+
+    #[test]
+    fn replicas_are_thread_count_invariant() {
+        let cfg = small(2, 4, SchedulerKind::Fair);
+        let mut one = BufferRecorder::new();
+        let mut four = BufferRecorder::new();
+        let a = run_replicas(&cfg, 3, 1, &mut one).expect("valid");
+        let b = run_replicas(&cfg, 3, 4, &mut four).expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(one.events(), four.events());
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_fleets() {
+        let mut cfg = small(1, 1, SchedulerKind::Rr);
+        cfg.clients = 0;
+        assert_eq!(
+            run_fleet(&cfg, &mut NullRecorder),
+            Err(NetError::NoClients)
+        );
+        let mut cfg = small(1, 1, SchedulerKind::Rr);
+        cfg.profiles.clear();
+        assert_eq!(run_fleet(&cfg, &mut NullRecorder), Err(NetError::NoTags));
+        let mut cfg = small(1, 1, SchedulerKind::Rr);
+        cfg.profiles[0].channel_bits = 10;
+        assert!(matches!(
+            run_fleet(&cfg, &mut NullRecorder),
+            Err(NetError::ChannelTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # witag-net — fleet scheduling and medium contention for WiTAG
+//!
+//! The network layer above the single-link session transport: **N
+//! querying clients × M tags on one shared WiFi medium**, as a
+//! deterministic discrete-event simulation.
+//!
+//! WiTAG (HotNets'18 §"Supporting multiple tags") sketches how one
+//! client addresses many tags with per-tag query A-MPDUs; this crate
+//! supplies what the sketch leaves open — who gets the medium
+//! ([`witag_mac::dcf`]-style contention with real PHY airtime), which
+//! tag each winner queries next (a pluggable [`Scheduler`] with
+//! round-robin, airtime-fair DRR, EDF, and a serial baseline), and what
+//! happens when two clients' queries overlap in the air (the
+//! overlapping fraction of each readout is bit-corrupted and judged by
+//! the transport's normal chunk CRC, not dropped by fiat).
+//!
+//! Everything is a pure function of the seed: same
+//! [`FleetConfig`] → byte-identical `net.*` trace and identical
+//! [`FleetReport`] at any thread count (see [`run_replicas`]).
+//!
+//! Entry points: [`FleetConfig::inventory`] → [`run_fleet`] /
+//! [`run_replicas`]; `witag-cli net` and the `net_scale` perf-gate
+//! section sit directly on top of them.
+
+#![forbid(unsafe_code)]
+
+pub mod fleet;
+pub mod scheduler;
+
+pub use fleet::{
+    run_fleet, run_replicas, DutyCycle, FleetConfig, FleetReport, NetError, TagOutcome,
+    TagProfile, MARKER_AIRTIME,
+};
+pub use scheduler::{
+    Candidate, EdfScheduler, FairScheduler, RrScheduler, Scheduler, SchedulerKind,
+    SerialScheduler,
+};

@@ -21,7 +21,7 @@ pub const SCHEMA: &str = "witag-obs/1";
 /// [`MetricsRecorder`](crate::MetricsRecorder) and
 /// [`TraceSummary`](crate::TraceSummary) index their per-kind counters
 /// by position in this list.
-pub const KINDS: [&str; 11] = [
+pub const KINDS: [&str; 15] = [
     "phy_rx",
     "ba",
     "round",
@@ -33,6 +33,10 @@ pub const KINDS: [&str; 11] = [
     "session_done",
     "sweep_point",
     "shard",
+    "net.enqueue",
+    "net.grant",
+    "net.collision",
+    "net.session_done",
 ];
 
 /// Names for the fault-class bit positions of a `fault` event's `mask`
@@ -208,6 +212,57 @@ pub enum Event {
         /// Rounds the shard executed.
         rounds: u32,
     },
+    /// A fleet run admitted one tag's session into the network layer
+    /// (emitted once per tag before the medium loop starts).
+    NetEnqueue {
+        /// Fleet medium-round index at enqueue (0 for the initial batch).
+        round: u64,
+        /// Client the tag is assigned to.
+        client: u32,
+        /// Fleet-wide tag index.
+        tag: u32,
+        /// Freshness deadline, microseconds of simulated time from
+        /// fleet start.
+        deadline_us: u64,
+    },
+    /// One client won the medium uncontested and queried one tag.
+    NetGrant {
+        /// Fleet medium-round index (grants and collisions share one
+        /// counter).
+        round: u64,
+        /// The winning client.
+        client: u32,
+        /// The tag its scheduler picked.
+        tag: u32,
+        /// Airtime the exchange consumed, microseconds.
+        airtime_us: u64,
+    },
+    /// Two or more clients' backoff counters expired together: their
+    /// queries overlapped in the air and corrupted each other.
+    NetCollision {
+        /// Fleet medium-round index.
+        round: u64,
+        /// Clients that transmitted simultaneously.
+        clients: u32,
+        /// Busy time of the collision (longest overlapping exchange),
+        /// microseconds.
+        airtime_us: u64,
+    },
+    /// One tag's session completed inside a fleet run.
+    NetSessionDone {
+        /// Fleet medium-round index at completion.
+        round: u64,
+        /// Fleet-wide tag index.
+        tag: u32,
+        /// Whether the CRC-verified message was delivered.
+        delivered: bool,
+        /// Query rounds this link consumed (collisions included).
+        rounds: u32,
+        /// Distinct chunk payload bits recovered.
+        payload_bits: u32,
+        /// Completion time from fleet start, microseconds.
+        latency_us: u64,
+    },
 }
 
 impl Event {
@@ -231,6 +286,10 @@ impl Event {
             Event::SessionDone { .. } => 8,
             Event::SweepPoint { .. } => 9,
             Event::Shard { .. } => 10,
+            Event::NetEnqueue { .. } => 11,
+            Event::NetGrant { .. } => 12,
+            Event::NetCollision { .. } => 13,
+            Event::NetSessionDone { .. } => 14,
         }
     }
 
@@ -353,6 +412,55 @@ impl Event {
                     ",\"index\":{index},\"base_round\":{base_round},\"rounds\":{rounds}"
                 );
             }
+            Event::NetEnqueue {
+                round,
+                client,
+                tag,
+                deadline_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"client\":{client},\"tag\":{tag},\
+                     \"deadline_us\":{deadline_us}"
+                );
+            }
+            Event::NetGrant {
+                round,
+                client,
+                tag,
+                airtime_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"client\":{client},\"tag\":{tag},\
+                     \"airtime_us\":{airtime_us}"
+                );
+            }
+            Event::NetCollision {
+                round,
+                clients,
+                airtime_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"clients\":{clients},\"airtime_us\":{airtime_us}"
+                );
+            }
+            Event::NetSessionDone {
+                round,
+                tag,
+                delivered,
+                rounds,
+                payload_bits,
+                latency_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"tag\":{tag},\"delivered\":{delivered},\
+                     \"rounds\":{rounds},\"payload_bits\":{payload_bits},\
+                     \"latency_us\":{latency_us}"
+                );
+            }
         }
         out.push('}');
     }
@@ -419,6 +527,31 @@ pub(crate) fn all_sample_events() -> Vec<Event> {
             index: 0,
             base_round: 0,
             rounds: 25,
+        },
+        Event::NetEnqueue {
+            round: 0,
+            client: 0,
+            tag: 3,
+            deadline_us: 250_000,
+        },
+        Event::NetGrant {
+            round: 4,
+            client: 0,
+            tag: 3,
+            airtime_us: 1290,
+        },
+        Event::NetCollision {
+            round: 5,
+            clients: 2,
+            airtime_us: 2410,
+        },
+        Event::NetSessionDone {
+            round: 31,
+            tag: 3,
+            delivered: true,
+            rounds: 12,
+            payload_bits: 240,
+            latency_us: 48_200,
         },
     ]
 }

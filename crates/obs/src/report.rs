@@ -57,6 +57,18 @@ pub struct TraceSummary {
     // structure markers
     sweep_points: u64,
     shards: u64,
+    // fleet roll-up (from net.* lines)
+    net_enqueued: u64,
+    net_grants: u64,
+    net_grant_airtime_us: u64,
+    net_collisions: u64,
+    net_collision_airtime_us: u64,
+    net_sessions: u64,
+    net_delivered: u64,
+    net_link_rounds: u64,
+    net_payload_bits: u64,
+    net_latency_us_sum: u64,
+    net_latency_us_max: u64,
 }
 
 impl TraceSummary {
@@ -150,6 +162,24 @@ impl TraceSummary {
             }
             "sweep_point" => self.sweep_points += 1,
             "shard" => self.shards += 1,
+            "net.enqueue" => self.net_enqueued += 1,
+            "net.grant" => {
+                self.net_grants += 1;
+                self.net_grant_airtime_us += field_u64(line, "airtime_us").unwrap_or(0);
+            }
+            "net.collision" => {
+                self.net_collisions += 1;
+                self.net_collision_airtime_us += field_u64(line, "airtime_us").unwrap_or(0);
+            }
+            "net.session_done" => {
+                self.net_sessions += 1;
+                self.net_delivered += u64::from(field_bool(line, "delivered").unwrap_or(false));
+                self.net_link_rounds += field_u64(line, "rounds").unwrap_or(0);
+                self.net_payload_bits += field_u64(line, "payload_bits").unwrap_or(0);
+                let lat = field_u64(line, "latency_us").unwrap_or(0);
+                self.net_latency_us_sum += lat;
+                self.net_latency_us_max = self.net_latency_us_max.max(lat);
+            }
             _ => {}
         }
     }
@@ -234,6 +264,35 @@ impl TraceSummary {
                 self.session_payload_bits
             );
         }
+        let accesses = self.net_grants + self.net_collisions;
+        if self.net_enqueued > 0 || accesses > 0 {
+            let rate = if accesses > 0 {
+                self.net_collisions as f64 / accesses as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  fleet: {} tag(s) enqueued | {} grant(s), {} collision(s) (rate {:.3}) | busy {:.3} ms",
+                self.net_enqueued,
+                self.net_grants,
+                self.net_collisions,
+                rate,
+                (self.net_grant_airtime_us + self.net_collision_airtime_us) as f64 / 1000.0
+            );
+        }
+        if self.net_sessions > 0 {
+            let _ = writeln!(
+                out,
+                "  fleet sessions: {} ({} delivered) | link rounds {} | payload bits {} | mean latency {:.3} ms (max {:.3} ms)",
+                self.net_sessions,
+                self.net_delivered,
+                self.net_link_rounds,
+                self.net_payload_bits,
+                self.net_latency_us_sum as f64 / self.net_sessions as f64 / 1000.0,
+                self.net_latency_us_max as f64 / 1000.0
+            );
+        }
         out
     }
 }
@@ -301,6 +360,38 @@ mod tests {
             .find(|l| l.contains("ba_loss"))
             .expect("ba_loss line");
         assert!(ba_line.trim_end().ends_with('2'), "{ba_line}");
+    }
+
+    #[test]
+    fn net_lines_aggregate_into_the_fleet_sections() {
+        let s = summarise(&[
+            crate::Event::NetEnqueue { round: 0, client: 0, tag: 0, deadline_us: 1000 },
+            crate::Event::NetEnqueue { round: 0, client: 1, tag: 1, deadline_us: 2000 },
+            crate::Event::NetGrant { round: 0, client: 0, tag: 0, airtime_us: 1200 },
+            crate::Event::NetCollision { round: 1, clients: 2, airtime_us: 1800 },
+            crate::Event::NetSessionDone {
+                round: 2,
+                tag: 0,
+                delivered: true,
+                rounds: 5,
+                payload_bits: 100,
+                latency_us: 9000,
+            },
+            crate::Event::NetSessionDone {
+                round: 3,
+                tag: 1,
+                delivered: false,
+                rounds: 7,
+                payload_bits: 60,
+                latency_us: 11000,
+            },
+        ]);
+        let r = s.render();
+        assert!(r.contains("2 tag(s) enqueued"), "{r}");
+        assert!(r.contains("1 grant(s), 1 collision(s) (rate 0.500)"), "{r}");
+        assert!(r.contains("busy 3.000 ms"), "{r}");
+        assert!(r.contains("fleet sessions: 2 (1 delivered)"), "{r}");
+        assert!(r.contains("mean latency 10.000 ms (max 11.000 ms)"), "{r}");
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Closing time at the mall: three handheld readers inventory fifty
+//! backscatter price tags through the store's WiFi, all on one channel.
+//!
+//! The fleet is deliberately mixed — a third of the tags sit on clean
+//! links, a third are behind racks on hostile links (fault intensity
+//! 0.6: bursts, drift, brownouts), and a third are battery-free
+//! harvesters awake only 15% of every 3 s. The three readers contend
+//! CSMA/CA-style, so concurrent queries can collide and must survive
+//! the ordinary chunk FEC+CRC path like any other corruption.
+//!
+//! The question the example answers: with the *same* fleet, the same
+//! seed and the same medium, what does the scheduling policy change?
+//!
+//! ```text
+//! cargo run --release --example mall_inventory
+//! ```
+
+use witag_faults::FaultPlan;
+use witag_net::{run_fleet, DutyCycle, FleetConfig, SchedulerKind};
+use witag_obs::NullRecorder;
+use witag_sim::time::Duration;
+
+const CLIENTS: usize = 3;
+const TAGS: usize = 50;
+const SEED: u64 = 0xA11;
+
+/// The shared fleet: only the scheduler varies between runs.
+fn fleet(kind: SchedulerKind) -> FleetConfig {
+    let mut cfg = FleetConfig::inventory(CLIENTS, TAGS, kind, Duration::secs(30), SEED);
+    for (i, p) in cfg.profiles.iter_mut().enumerate() {
+        match i % 3 {
+            // Clean aisle: nothing between tag and reader.
+            0 => {}
+            // Behind the racks: a genuinely hostile link.
+            1 => p.faults = Some(FaultPlan::hostile_scaled(SEED ^ i as u64, 0.6)),
+            // Battery-free harvester: awake 15% of every 3 s, phases
+            // spread so the fleet never sleeps in unison.
+            _ => {
+                let period = Duration::secs(3);
+                p.duty = Some(DutyCycle {
+                    period,
+                    on_fraction: 0.15,
+                    phase: Duration::nanos(
+                        (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % period.as_nanos(),
+                    ),
+                });
+            }
+        }
+    }
+    cfg
+}
+
+fn main() {
+    println!("mall inventory: {CLIENTS} readers x {TAGS} tags on one channel");
+    println!("tag mix: 1/3 clean, 1/3 hostile (intensity 0.6), 1/3 duty-cycled (15% of 3 s)\n");
+
+    println!(
+        "{:>9} {:>11} {:>14} {:>12} {:>13} {:>11} {:>11}",
+        "scheduler", "delivered", "goodput bps", "p50 ms", "p99 ms", "coll rate", "deadlines"
+    );
+    for kind in [
+        SchedulerKind::Serial,
+        SchedulerKind::Rr,
+        SchedulerKind::Fair,
+        SchedulerKind::Edf,
+    ] {
+        let rep = run_fleet(&fleet(kind), &mut NullRecorder).expect("viable fleet");
+        let ms = |p: f64| {
+            rep.latency_percentile(p)
+                .map_or_else(|| "-".to_string(), |us| format!("{:.0}", us / 1000.0))
+        };
+        println!(
+            "{:>9} {:>8}/{TAGS} {:>14.1} {:>12} {:>13} {:>11.3} {:>8}/{}",
+            kind.name(),
+            rep.delivered(),
+            rep.goodput_bps(),
+            ms(50.0),
+            ms(99.0),
+            rep.collision_rate(),
+            rep.deadline_hits(),
+            rep.delivered(),
+        );
+    }
+
+    println!("\nhow to read it: `serial` polls tag 0 to completion and keeps");
+    println!("probing sleeping harvesters, so the duty-cycled third throttles");
+    println!("the whole inventory. `rr` spreads grants but still pays for");
+    println!("sleepers until cooldown kicks in. `fair` (deficit round robin on");
+    println!("consumed airtime) both skips cooling tags and stops hostile links'");
+    println!("retries from hogging the medium — highest goodput. `edf` chases");
+    println!("the per-tag deadlines instead, trading a little goodput for");
+    println!("deadline hits. Same seed, same medium, byte-identical reruns:");
+    println!("the only variable on that table is the scheduling policy.");
+}

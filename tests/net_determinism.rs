@@ -1,0 +1,128 @@
+//! Fleet-layer determinism and fairness gates.
+//!
+//! Pins the witag-net contract the acceptance criteria name: same seed
+//! → byte-identical `net.*` trace and identical aggregate stats at any
+//! thread count; different seed → different run; and the airtime-fair
+//! scheduler bounds the share an adversarially expensive tag can take
+//! while round-robin lets it hog the medium.
+
+use witag_faults::FaultPlan;
+use witag_net::{run_fleet, run_replicas, FleetConfig, SchedulerKind};
+use witag_obs::{BufferRecorder, NullRecorder};
+use witag_sim::time::Duration;
+
+/// Serialise a buffered event stream exactly as the JSONL writer would,
+/// so "byte-identical trace" means bytes, not structural equality.
+fn trace_bytes(buf: &BufferRecorder) -> String {
+    let mut out = String::new();
+    for e in buf.events() {
+        e.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// A contended fleet with hostile fault plans on alternating links —
+/// enough moving parts (fault RNG, collision corruption, cooldowns)
+/// that any nondeterminism would show.
+fn hostile_fleet(seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::inventory(
+        2,
+        8,
+        SchedulerKind::Fair,
+        Duration::millis(1500),
+        seed,
+    );
+    for (i, p) in cfg.profiles.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            p.faults = Some(FaultPlan::hostile_scaled(seed ^ i as u64, 0.5));
+        }
+    }
+    cfg
+}
+
+#[test]
+fn replica_traces_are_byte_identical_across_thread_counts() {
+    let cfg = hostile_fleet(7);
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let reports_one = run_replicas(&cfg, 3, 1, &mut one).expect("valid fleet");
+    let reports_four = run_replicas(&cfg, 3, 4, &mut four).expect("valid fleet");
+    assert_eq!(reports_one, reports_four, "aggregate stats must not depend on threads");
+    assert_eq!(trace_bytes(&one), trace_bytes(&four), "traces must be byte-identical");
+    assert!(!one.events().is_empty());
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut a = BufferRecorder::new();
+    let mut b = BufferRecorder::new();
+    let ra = run_replicas(&hostile_fleet(7), 2, 2, &mut a).expect("valid fleet");
+    let rb = run_replicas(&hostile_fleet(8), 2, 2, &mut b).expect("valid fleet");
+    assert_ne!(trace_bytes(&a), trace_bytes(&b), "seed must matter");
+    assert_ne!(ra, rb);
+}
+
+#[test]
+fn hundred_tag_fair_inventory_is_deterministic_and_complete() {
+    // The acceptance-criteria fleet: 100 tags under `fair` must finish a
+    // full inventory read, identically at 1 and 4 threads.
+    let cfg = FleetConfig::inventory(2, 100, SchedulerKind::Fair, Duration::secs(30), 42);
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let a = run_replicas(&cfg, 1, 1, &mut one).expect("valid fleet");
+    let b = run_replicas(&cfg, 1, 4, &mut four).expect("valid fleet");
+    assert_eq!(a, b);
+    assert_eq!(trace_bytes(&one), trace_bytes(&four));
+    let rep = &a[0];
+    assert_eq!(rep.delivered(), 100, "full inventory must complete");
+    assert!(rep.elapsed < cfg.horizon, "must finish before the horizon");
+    assert!(rep.latency_percentile(50.0).is_some());
+    assert!(rep.latency_percentile(99.0).is_some());
+    let shares = rep.airtime_shares();
+    assert_eq!(shares.len(), 100);
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+/// One client, four tags, tag 0 with 8× the per-round airtime and a
+/// message too long for anyone to finish inside the horizon — a pure
+/// airtime-share contest.
+fn starvation_fleet(kind: SchedulerKind) -> FleetConfig {
+    let mut cfg = FleetConfig::inventory(1, 4, kind, Duration::secs(2), 99);
+    for (i, p) in cfg.profiles.iter_mut().enumerate() {
+        p.subframe_bytes = if i == 0 { 48 * 8 } else { 48 };
+        p.channel_bits = 56;
+        p.message = vec![0xA5; 1200];
+    }
+    cfg
+}
+
+#[test]
+fn airtime_fair_bounds_the_adversarial_fast_tag() {
+    let rep = run_fleet(&starvation_fleet(SchedulerKind::Fair), &mut NullRecorder)
+        .expect("valid fleet");
+    let shares = rep.airtime_shares();
+    assert!(
+        shares[0] <= 0.40,
+        "fair must cap the 8x tag: shares {shares:?}"
+    );
+    for (tag, &s) in shares.iter().enumerate() {
+        assert!(
+            s >= 0.15,
+            "fair must not starve tag {tag}: shares {shares:?}"
+        );
+    }
+}
+
+#[test]
+fn round_robin_lets_the_heavy_tag_hog_the_medium() {
+    // The counterpoint proving the starvation test has teeth: grant-fair
+    // round robin hands the 8x tag the majority of the airtime.
+    let rep = run_fleet(&starvation_fleet(SchedulerKind::Rr), &mut NullRecorder)
+        .expect("valid fleet");
+    let shares = rep.airtime_shares();
+    assert!(
+        shares[0] >= 0.50,
+        "rr should let the heavy tag dominate: shares {shares:?}"
+    );
+}

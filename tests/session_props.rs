@@ -7,7 +7,11 @@ mod common;
 
 use common::{test_message, SyntheticChannel};
 use proptest::prelude::*;
-use witag::tagnet::{run_session, SessionConfig, SessionFailure, SessionOutcome};
+use witag::tagnet::{
+    decode_chunk, encode_chunk, run_session, SessionConfig, SessionFailure, SessionOutcome,
+    CHUNK_PAYLOAD_BITS, MIN_CHANNEL_BITS,
+};
+use witag::FecLayout;
 use witag_faults::FaultPlan;
 
 const CHANNEL_BITS: usize = 62;
@@ -86,5 +90,84 @@ proptest! {
             SessionOutcome::Delivered(bytes) => prop_assert_eq!(bytes, message),
             other => prop_assert!(false, "quiet plan must deliver, got {:?}", other),
         }
+    }
+}
+
+/// Derive a deterministic 20-bit chunk payload from a compact seed (the
+/// proptest shim has no vec strategy; a u32 carries more than enough
+/// entropy for 20 bits).
+fn chunk_payload(bits: u32) -> Vec<u8> {
+    (0..CHUNK_PAYLOAD_BITS)
+        .map(|i| ((bits >> i) & 1) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `encode_chunk` → `decode_chunk` round-trips seq and payload for
+    /// every per-query capacity the transport accepts.
+    #[test]
+    fn chunk_roundtrips_for_all_transport_capacities(
+        seq in 0u8..16,
+        payload_bits in any::<u32>(),
+        channel_bits in MIN_CHANNEL_BITS..201usize,
+    ) {
+        let payload = chunk_payload(payload_bits);
+        let encoded = encode_chunk(seq, &payload, channel_bits).expect("capacity checked");
+        prop_assert_eq!(encoded.len(), channel_bits, "idle-padded to capacity");
+        prop_assert_eq!(decode_chunk(&encoded, channel_bits), Some((seq, payload)));
+    }
+
+    /// One flipped bit anywhere — FEC region or idle pad — is absorbed:
+    /// Hamming(7,4) corrects a single error per codeword and the pad is
+    /// never inspected.
+    #[test]
+    fn single_bit_flip_is_corrected(
+        seq in 0u8..16,
+        payload_bits in any::<u32>(),
+        channel_bits in MIN_CHANNEL_BITS..201usize,
+        flip in any::<usize>(),
+    ) {
+        let payload = chunk_payload(payload_bits);
+        let mut encoded = encode_chunk(seq, &payload, channel_bits).expect("capacity checked");
+        let pos = flip % encoded.len();
+        encoded[pos] ^= 1;
+        prop_assert_eq!(decode_chunk(&encoded, channel_bits), Some((seq, payload)));
+    }
+
+    /// Anything shorter than the FEC region is rejected outright — a
+    /// truncated readout can never masquerade as a chunk.
+    #[test]
+    fn truncated_chunks_are_rejected(
+        seq in 0u8..16,
+        payload_bits in any::<u32>(),
+        channel_bits in MIN_CHANNEL_BITS..201usize,
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let payload = chunk_payload(payload_bits);
+        let encoded = encode_chunk(seq, &payload, channel_bits).expect("capacity checked");
+        let fec_bits = FecLayout::fit(channel_bits).channel_bits();
+        let keep = ((fec_bits - 1) as f64 * keep_frac) as usize;
+        prop_assert_eq!(decode_chunk(&encoded[..keep], channel_bits), None);
+    }
+
+    /// Heavy damage — the leading half of the FEC region flipped — can
+    /// never decode back to the original chunk: the interleaver puts ≥3
+    /// of those flips in every codeword, beyond any Hamming correction,
+    /// so either the CRC kills it or the decoded bits differ.
+    #[test]
+    fn heavy_damage_never_decodes_to_the_original(
+        seq in 0u8..16,
+        payload_bits in any::<u32>(),
+        channel_bits in MIN_CHANNEL_BITS..201usize,
+    ) {
+        let payload = chunk_payload(payload_bits);
+        let mut encoded = encode_chunk(seq, &payload, channel_bits).expect("capacity checked");
+        let fec_bits = FecLayout::fit(channel_bits).channel_bits();
+        for b in encoded.iter_mut().take(fec_bits.div_ceil(2)) {
+            *b ^= 1;
+        }
+        prop_assert_ne!(decode_chunk(&encoded, channel_bits), Some((seq, payload)));
     }
 }
