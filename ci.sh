@@ -43,3 +43,13 @@ cargo run -q --release -p witag-cli -- net --clients 2 --tags 8 \
 grep -q '"kind":"net.grant"' /tmp/witag_net_trace_smoke.jsonl
 cargo run -q --release -p witag-cli -- report /tmp/witag_net_trace_smoke.jsonl \
     | grep -q 'fleet sessions'
+
+# Rateless transport smoke: the same contended fleet over the fountain
+# transport. The trace must carry the fountain session events and still
+# aggregate cleanly.
+cargo run -q --release -p witag-cli -- net --clients 2 --tags 8 \
+    --scheduler fair --transport fountain \
+    --trace /tmp/witag_fountain_trace_smoke.jsonl
+grep -q '"kind":"net.session_done"' /tmp/witag_fountain_trace_smoke.jsonl
+cargo run -q --release -p witag-cli -- report /tmp/witag_fountain_trace_smoke.jsonl \
+    | grep -q 'fleet sessions'

@@ -7,8 +7,10 @@
 //! writes `BENCH_phy.json` (current directory, or `WITAG_PERF_OUT`) and
 //! prints the same JSON to stdout. A second `net_scale` section sweeps
 //! a duty-cycled fleet over tags ∈ {1, 10, 100, 1000} comparing the
-//! airtime-fair scheduler against serial polling, and writes
-//! `BENCH_net.json` (or `WITAG_PERF_NET_OUT`).
+//! airtime-fair scheduler against serial polling, plus a `transport`
+//! block that pits the rateless fountain session against selective-
+//! repeat ARQ on a hostile loaded fleet, and writes `BENCH_net.json`
+//! (or `WITAG_PERF_NET_OUT`).
 //!
 //! The JSON is hand-rolled — the offline crate set has no serde — and
 //! deliberately flat so `python3 -c "import json,sys; json.load(...)"`,
@@ -34,7 +36,7 @@ use std::time::Instant;
 
 use witag::experiment::{Experiment, ExperimentConfig};
 use witag_faults::FaultPlan;
-use witag_net::{run_fleet, FleetConfig, SchedulerKind};
+use witag_net::{run_fleet, FleetConfig, SchedulerKind, Transport};
 use witag_phy::convolutional::{bits_to_llrs, encode_stream, viterbi_decode_stream};
 use witag_phy::mcs::Mcs;
 use witag_phy::ppdu::{transmit, PhyConfig};
@@ -202,9 +204,53 @@ fn main() {
             fair.latency_percentile(99.0).unwrap_or(0.0),
         ));
     }
+    // --- transport: rateless fountain vs selective-repeat ARQ ---------
+    // The hostile regime from the PR-1 fault plan (Gilbert–Elliott
+    // bursts, drift, brownouts) on every link of a loaded two-client
+    // fleet: exactly where per-chunk ARQ collapses into retransmission
+    // round-trips and the rateless transport keeps making progress,
+    // because any fresh symbol advances the decode. Intensity 1.0 is
+    // the stock PR-1 plan (the acceptance condition); 0.5 shows the
+    // moderate regime where both transports mostly finish.
+    let (t_tags, t_horizon) = if quick {
+        (8usize, Duration::secs(4))
+    } else {
+        (100usize, Duration::secs(30))
+    };
+    let bench_transport = |transport: Transport, intensity: f64| {
+        let mut cfg =
+            FleetConfig::inventory(2, t_tags, SchedulerKind::Fair, t_horizon, 0xBE)
+                .with_transport(transport);
+        for (i, p) in cfg.profiles.iter_mut().enumerate() {
+            p.faults = Some(if intensity >= 1.0 {
+                FaultPlan::hostile(0xBE ^ i as u64)
+            } else {
+                FaultPlan::hostile_scaled(0xBE ^ i as u64, intensity)
+            });
+        }
+        let t0 = Instant::now();
+        let rep = run_fleet(&cfg, &mut NullRecorder).expect("viable fleet");
+        (rep, t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let mut transport_rows = Vec::new();
+    for intensity in [1.0f64, 0.5] {
+        for transport in [Transport::Arq, Transport::Fountain] {
+            let (rep, wall_ms) = bench_transport(transport, intensity);
+            transport_rows.push(format!(
+                "    {{ \"transport\": \"{}\", \"intensity\": {intensity:.1}, \"delivered\": {}, \"goodput_bps\": {:.1}, \"p99_latency_us\": {:.0}, \"collision_rate\": {:.4}, \"wall_ms\": {wall_ms:.1} }}",
+                transport.name(),
+                rep.delivered(),
+                rep.goodput_bps(),
+                rep.latency_percentile(99.0).unwrap_or(0.0),
+                rep.collision_rate(),
+            ));
+        }
+    }
     let net_json = format!(
-        "{{\n  \"schema\": \"witag-net-scale-v1\",\n  \"quick\": {quick},\n  \"duty\": {{ \"period_s\": 4, \"on_fraction\": 0.08 }},\n  \"scale\": [\n{}\n  ]\n}}",
+        "{{\n  \"schema\": \"witag-net-scale-v3\",\n  \"quick\": {quick},\n  \"duty\": {{ \"period_s\": 4, \"on_fraction\": 0.08 }},\n  \"scale\": [\n{}\n  ],\n  \"transport\": {{\n    \"note\": \"2 clients x {t_tags} tags, fair scheduler, horizon {:.0} s; per row, every link runs FaultPlan::hostile(0xBE^i) at the stated intensity (1.0 = stock PR-1 hostile plan)\",\n    \"rows\": [\n{}\n    ]\n  }}\n}}",
         rows.join(",\n"),
+        t_horizon.as_secs_f64(),
+        transport_rows.join(",\n"),
     );
     let net_out =
         std::env::var("WITAG_PERF_NET_OUT").unwrap_or_else(|_| "BENCH_net.json".into());

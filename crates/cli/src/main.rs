@@ -12,7 +12,8 @@
 //! witag faults [--message "text"] [--intensity 1.0] [--distance 1]
 //!              [--seed 42] [--plan-seed 7] [--budget 3000]
 //!              [--trace out.jsonl]
-//! witag net    [--clients 2] [--tags 8] [--scheduler rr|fair|edf|serial]
+//! witag net    [--clients 2] [--tags 8] [--scheduler rr|fair|edf|serial|pred]
+//!              [--transport arq|fountain]
 //!              [--horizon 2000] [--seed 42] [--window 4]
 //!              [--duty 0.0] [--duty-period 4000]
 //!              [--replicas 1] [--threads N] [--trace out.jsonl]
@@ -40,7 +41,7 @@ use witag::tagnet::{
     deliver, session_over_experiment, session_over_experiment_obs, SessionConfig, SessionOutcome,
 };
 use witag_faults::FaultPlan;
-use witag_net::{run_replicas, FleetConfig, FleetReport, SchedulerKind};
+use witag_net::{run_replicas, FleetConfig, FleetReport, SchedulerKind, Transport};
 use witag_obs::{BufferRecorder, Event, JsonlRecorder, NullRecorder, Recorder, TraceSummary};
 use witag_channel::{Link, LinkConfig};
 use witag_sim::geom::Floorplan;
@@ -102,7 +103,8 @@ fn usage() {
          \x20 faults     run the resilient session under injected faults\n\
          \x20            (single session; deterministic for --seed/--plan-seed)\n\
          \x20 net        fleet run: N clients x M tags on one medium under a\n\
-         \x20            --scheduler (rr|fair|edf|serial); prints goodput,\n\
+         \x20            --scheduler (rr|fair|edf|serial|pred) and a\n\
+         \x20            --transport (arq|fountain); prints goodput,\n\
          \x20            latency percentiles, airtime shares, collision rate\n\
          \x20 report     summarise a --trace JSONL file (docs/OBS_SCHEMA.md)\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
@@ -447,7 +449,18 @@ fn cmd_net(a: &Args) -> Result<(), ArgError> {
             return Err(ArgError::BadValue {
                 key: "scheduler".into(),
                 value: sched_name,
-                expected: "rr|fair|edf|serial",
+                expected: "rr|fair|edf|serial|pred",
+            })
+        }
+    };
+    let transport_name = a.str_or("transport", "arq").to_string();
+    let transport = match Transport::parse(&transport_name) {
+        Some(t) => t,
+        None => {
+            return Err(ArgError::BadValue {
+                key: "transport".into(),
+                value: transport_name,
+                expected: "arq|fountain",
             })
         }
     };
@@ -468,6 +481,7 @@ fn cmd_net(a: &Args) -> Result<(), ArgError> {
         seed,
     );
     cfg.window = window;
+    cfg = cfg.with_transport(transport);
     if duty > 0.0 {
         cfg = cfg.with_duty_cycle(Duration::millis(duty_period_ms), duty);
     }
@@ -487,8 +501,9 @@ fn cmd_net(a: &Args) -> Result<(), ArgError> {
         }
     };
     println!(
-        "fleet: {clients} client(s) x {tags} tag(s) | scheduler {} | horizon {horizon_ms} ms | seed {seed}",
-        scheduler.name()
+        "fleet: {clients} client(s) x {tags} tag(s) | scheduler {} | transport {} | horizon {horizon_ms} ms | seed {seed}",
+        scheduler.name(),
+        transport.name()
     );
     if duty > 0.0 {
         println!(

@@ -18,7 +18,13 @@
 //!   channel: CRC-framed chunks with stop-and-wait ARQ via dual trigger
 //!   signatures ([`tagnet::deliver`]), and a resilient session layer
 //!   with selective-repeat ARQ, adaptive redundancy, exponential
-//!   backoff and explicit desync recovery ([`tagnet::run_session`]).
+//!   backoff and explicit desync recovery ([`tagnet::run_session`]),
+//! * [`fountain`] — the rateless alternative to per-chunk ARQ: an LT
+//!   fountain codec (robust-soliton degrees, seeded symbol selection,
+//!   peeling decoder with Gaussian inactivation) plus the SYMBOL /
+//!   INFO / SYNC protocol state machines that
+//!   [`tagnet::run_fountain_session`] and the `witag-net` fleet layer
+//!   drive.
 //!
 //! Deterministic fault injection (query loss, block-ACK loss, burst
 //! interference, oscillator drift, brownouts, coherence collapse) comes
@@ -40,6 +46,7 @@
 
 pub mod experiment;
 pub mod fec;
+pub mod fountain;
 pub mod query;
 pub mod reader;
 pub mod tagnet;
@@ -49,9 +56,14 @@ pub use experiment::{
     RoundResult, SecurityMode,
 };
 pub use fec::FecLayout;
+pub use fountain::{
+    DegreeDistribution, FountainDecoder, FountainEncoder, FountainQuery, FountainReceiver,
+    FountainSender,
+};
 pub use query::{BuiltQuery, QueryDesign};
 pub use reader::{read_tag_bits, BitErrors, TagReadout};
 pub use tagnet::{
-    run_session, session_over_experiment, RoundOutcome, SessionConfig, SessionFailure,
+    fountain_session_over_experiment, run_fountain_session, run_session, session_over_experiment,
+    FountainConfig, FountainReport, FountainStats, RoundOutcome, SessionConfig, SessionFailure,
     SessionOutcome, SessionReport, SessionStats, TagnetError,
 };

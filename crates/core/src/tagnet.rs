@@ -21,6 +21,7 @@
 //! workspace integration tests (`tests/tagnet_transport.rs`).
 
 use crate::fec::FecLayout;
+use crate::fountain::{FountainQuery, FountainReceiver, FountainSender};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -489,8 +490,10 @@ impl SessionSender {
     }
 }
 
-/// Base-report payload: `[BASE_REPORT_MAGIC(8) ‖ base(12)]`.
-fn base_report_payload(base: usize) -> Vec<u8> {
+/// Base-report payload: `[BASE_REPORT_MAGIC(8) ‖ base(12)]`. Crate-wide
+/// so the fountain transport reuses the same control-report framing for
+/// its INFO/SYNC responses.
+pub(crate) fn base_report_payload(base: usize) -> Vec<u8> {
     let mut p = Vec::with_capacity(CHUNK_PAYLOAD_BITS);
     for i in (0..8).rev() {
         p.push((BASE_REPORT_MAGIC >> i) & 1);
@@ -1281,6 +1284,365 @@ pub fn session_over_experiment_obs(
     let mut channel_rec = SharedRecorder::new(dyn_cell);
     run_session_obs(message, channel_bits, cfg, &mut driver_rec, |q, tx| {
         if matches!(q, SessionQuery::Idle) {
+            exp.run_idle_obs(&mut channel_rec);
+            return RoundOutcome {
+                tag_heard: false,
+                readout: None,
+            };
+        }
+        let r = exp.run_round_obs(tx, &mut channel_rec);
+        RoundOutcome {
+            tag_heard: r.triggered,
+            readout: (!r.ba_lost).then_some(r.readout.bits),
+        }
+    })
+}
+
+/// Fountain-session tuning knobs — deliberately a small subset of
+/// [`SessionConfig`]: the rateless transport has no window, no
+/// per-chunk diversity and no resync machinery to tune; only the round
+/// budget and the backoff envelope remain.
+#[derive(Debug, Clone)]
+pub struct FountainConfig {
+    /// Hard budget of rounds (queries + idle rounds) before giving up.
+    pub max_rounds: usize,
+    /// Consecutive dead-air rounds before the driver goes quiet. The
+    /// effective threshold halves while the accept EWMA is below
+    /// [`Self::ewma_low`] — the adaptive symbol-rate control: a channel
+    /// that is eating symbols gets them more slowly.
+    pub backoff_threshold: usize,
+    /// Backoff exponent ceiling (idle rounds per quiet period is
+    /// `2^level`).
+    pub max_backoff_exp: u32,
+    /// Accept-EWMA level below which the driver treats the channel as
+    /// degraded and backs off at half the dead-streak threshold.
+    pub ewma_low: f64,
+}
+
+impl Default for FountainConfig {
+    fn default() -> Self {
+        FountainConfig {
+            max_rounds: 4096,
+            backoff_threshold: 4,
+            max_backoff_exp: 4,
+            ewma_low: 0.25,
+        }
+    }
+}
+
+/// Per-fountain-session counters, the rateless analogue of
+/// [`SessionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FountainStats {
+    /// Physical rounds consumed (queries + idle backoff rounds).
+    pub rounds: usize,
+    /// Rounds that carried a real query (non-idle).
+    pub queries: usize,
+    /// Rounds deliberately spent idle (backoff).
+    pub idle_rounds: usize,
+    /// SYMBOL queries issued.
+    pub symbols: usize,
+    /// Rounds whose readout decoded and folded in (symbols absorbed
+    /// plus accepted INFO/SYNC reports).
+    pub accepted: usize,
+    /// INFO queries issued.
+    pub infos: usize,
+    /// SYNC queries issued.
+    pub syncs: usize,
+    /// Rounds with dead air (lost query/readout or silent tag).
+    pub losses: usize,
+    /// Modulated readouts that failed chunk CRC / FEC decoding.
+    pub crc_failures: usize,
+    /// Distinct payload bits recovered (solved source chunks, header
+    /// included).
+    pub payload_bits: usize,
+    /// Raw channel bits the consumed queries could have carried.
+    pub raw_bits: usize,
+}
+
+impl FountainStats {
+    /// Useful payload bits per raw channel bit spent (0 when nothing
+    /// was spent). The gap to 1.0 is the rateless overhead plus the
+    /// channel's losses.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.raw_bits == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.raw_bits as f64
+        }
+    }
+}
+
+/// Full result of [`run_fountain_session`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FountainReport {
+    /// How the session ended. `CrcMismatch` means the decoder solved a
+    /// full block whose end-to-end CRC disagreed — the transport
+    /// refuses to hand over silently corrupted bytes, exactly like the
+    /// ARQ session.
+    pub outcome: SessionOutcome,
+    /// Everything that was spent getting there.
+    pub stats: FountainStats,
+}
+
+impl FountainReport {
+    /// Convenience: the delivered bytes, if any.
+    pub fn delivered(&self) -> Option<&[u8]> {
+        match &self.outcome {
+            SessionOutcome::Delivered(bytes) => Some(bytes),
+            SessionOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// Deliver `message` over the rateless fountain transport: the tag
+/// streams robust-soliton coded symbols and the client absorbs them in
+/// any order until its decoder completes — the block-ACK readouts *are*
+/// the "enough" feedback, so no per-chunk ARQ state exists on either
+/// side. See [`crate::fountain`] for the codec and the protocol state
+/// machines; semantics of `channel` match [`run_session`].
+pub fn run_fountain_session<F>(
+    message: &[u8],
+    channel_bits: usize,
+    cfg: &FountainConfig,
+    channel: F,
+) -> Result<FountainReport, TagnetError>
+where
+    F: FnMut(&FountainQuery, &[u8]) -> RoundOutcome,
+{
+    run_fountain_session_obs(message, channel_bits, cfg, &mut NullRecorder, channel)
+}
+
+/// [`run_fountain_session`] with observability: emits `session_query`
+/// (every round, with the fountain vocabulary `"symbol"` / `"info"` /
+/// `"sync"` / `"idle"`), `tagnet.symbol` (every SYMBOL round),
+/// `tagnet.decode_progress` (every solve), `session_backoff` (each
+/// quiet period) and exactly one `session_done`. Emission is gated on
+/// [`Recorder::enabled`], so a detached recorder makes this a strict
+/// synonym of `run_fountain_session`.
+pub fn run_fountain_session_obs<F>(
+    message: &[u8],
+    channel_bits: usize,
+    cfg: &FountainConfig,
+    rec: &mut dyn Recorder,
+    mut channel: F,
+) -> Result<FountainReport, TagnetError>
+where
+    F: FnMut(&FountainQuery, &[u8]) -> RoundOutcome,
+{
+    let mut sender = FountainSender::new(message)?;
+    // Surface an undersized query once, up front, instead of per round.
+    encode_chunk(0, &[0u8; CHUNK_PAYLOAD_BITS], channel_bits)?;
+    let mut recv = FountainReceiver::new();
+    let mut stats = FountainStats::default();
+    let mut dead_streak = 0usize;
+    let mut backoff_exp = 0u32;
+    // Accept EWMA: the decode-progress signal the rate control watches.
+    // Starts optimistic so a clean channel never pays a warmup tax.
+    let mut accept_ewma = 1.0f64;
+
+    let mut run_one = |sender: &mut FountainSender,
+                       stats: &mut FountainStats,
+                       q: &FountainQuery,
+                       rec: &mut dyn Recorder|
+     -> Result<RoundOutcome, TagnetError> {
+        let round = stats.rounds as u64;
+        let tx = sender.serve(q, channel_bits)?;
+        let out = channel(q, &tx);
+        stats.rounds += 1;
+        if matches!(q, FountainQuery::Idle) {
+            stats.idle_rounds += 1;
+        } else {
+            stats.queries += 1;
+            stats.raw_bits += channel_bits;
+        }
+        if out.tag_heard {
+            sender.commit(q);
+        }
+        if rec.enabled() {
+            let query = match q {
+                FountainQuery::Symbol => "symbol",
+                FountainQuery::Info => "info",
+                FountainQuery::Sync => "sync",
+                FountainQuery::Idle => "idle",
+            };
+            rec.record(&Event::SessionQuery {
+                round,
+                query,
+                slot: None,
+                heard: out.tag_heard,
+                readout: out.readout.is_some(),
+            });
+        }
+        Ok(out)
+    };
+
+    // The terminal event, shared by every return path below. Field
+    // mapping for the shared `session_done` kind: `retransmissions` is
+    // the rateless overhead (symbol rounds that bought no accepted
+    // symbol), `resyncs` counts SYNC queries.
+    let done_event = |stats: &FountainStats, delivered: bool| Event::SessionDone {
+        round: stats.rounds as u64,
+        delivered,
+        queries: stats.queries as u32,
+        idle_rounds: stats.idle_rounds as u32,
+        retransmissions: stats.symbols.saturating_sub(stats.accepted) as u32,
+        resyncs: stats.syncs as u32,
+        payload_bits: stats.payload_bits as u32,
+    };
+    let finish = |stats: FountainStats,
+                  outcome: SessionOutcome,
+                  rec: &mut dyn Recorder|
+     -> Result<FountainReport, TagnetError> {
+        if rec.enabled() {
+            let delivered = matches!(outcome, SessionOutcome::Delivered(_));
+            rec.record(&done_event(&stats, delivered));
+        }
+        Ok(FountainReport { outcome, stats })
+    };
+
+    while stats.rounds < cfg.max_rounds {
+        if recv.complete() {
+            let outcome = match recv.assemble() {
+                Some(bytes) => SessionOutcome::Delivered(bytes),
+                None => SessionOutcome::Failed(SessionFailure::CrcMismatch),
+            };
+            return finish(stats, outcome, rec);
+        }
+
+        // Adaptive backoff: dead air drives the streak, and a low
+        // accept EWMA halves the patience — the symbol rate degrades
+        // gracefully with the channel instead of burning budget.
+        let threshold = if accept_ewma < cfg.ewma_low {
+            (cfg.backoff_threshold / 2).max(1)
+        } else {
+            cfg.backoff_threshold
+        };
+        if dead_streak >= threshold {
+            let idle = 1usize << backoff_exp.min(cfg.max_backoff_exp);
+            if rec.enabled() {
+                rec.record(&Event::SessionBackoff {
+                    round: stats.rounds as u64,
+                    idle_rounds: idle as u32,
+                    level: backoff_exp,
+                });
+            }
+            for _ in 0..idle {
+                if stats.rounds >= cfg.max_rounds {
+                    break;
+                }
+                run_one(&mut sender, &mut stats, &FountainQuery::Idle, &mut *rec)?;
+            }
+            backoff_exp = (backoff_exp + 1).min(cfg.max_backoff_exp);
+            dead_streak = 0;
+            // The quiet period is exactly when counter drift sneaks in
+            // (brownouts, missed triggers): re-learn it cheaply.
+            recv.request_sync();
+            continue;
+        }
+
+        let q = recv.next_query();
+        let out = run_one(&mut sender, &mut stats, &q, &mut *rec)?;
+        match q {
+            FountainQuery::Symbol => stats.symbols += 1,
+            FountainQuery::Info => stats.infos += 1,
+            FountainQuery::Sync => stats.syncs += 1,
+            // `next_query` never returns Idle; idle rounds only come
+            // from the backoff path above.
+            FountainQuery::Idle => {}
+        }
+        let dead = match out.readout.as_deref() {
+            None => true,
+            Some(bits) => bits.iter().all(|&b| b == 1),
+        };
+        let solved_before = recv.solved_count();
+        let absorbed = recv.absorb(&q, out.readout.as_deref(), channel_bits);
+        if absorbed.accepted {
+            stats.accepted += 1;
+            stats.payload_bits += absorbed.solved_bits;
+            dead_streak = 0;
+            backoff_exp = 0;
+        } else if dead {
+            stats.losses += 1;
+            dead_streak += 1;
+        } else {
+            // Noisy but alive: keep streaming — every fresh symbol is
+            // new information, unlike an ARQ retransmission.
+            stats.crc_failures += 1;
+            dead_streak = 0;
+        }
+        accept_ewma = 0.75 * accept_ewma + 0.25 * f64::from(u8::from(absorbed.accepted));
+        if rec.enabled() {
+            let round = (stats.rounds - 1) as u64;
+            if matches!(q, FountainQuery::Symbol) {
+                let esi = if absorbed.accepted {
+                    recv.esi_belief().saturating_sub(1)
+                } else {
+                    recv.esi_belief()
+                };
+                rec.record(&Event::TagnetSymbol {
+                    round,
+                    esi,
+                    accepted: absorbed.accepted,
+                });
+            }
+            if recv.solved_count() > solved_before {
+                rec.record(&Event::TagnetDecodeProgress {
+                    round,
+                    solved: recv.solved_count() as u32,
+                    source: recv.source_count().unwrap_or(0) as u32,
+                    received: recv.received() as u32,
+                });
+            }
+        }
+    }
+
+    if recv.complete() {
+        let outcome = match recv.assemble() {
+            Some(bytes) => SessionOutcome::Delivered(bytes),
+            None => SessionOutcome::Failed(SessionFailure::CrcMismatch),
+        };
+        return finish(stats, outcome, rec);
+    }
+    finish(
+        stats,
+        SessionOutcome::Failed(SessionFailure::BudgetExhausted),
+        rec,
+    )
+}
+
+/// Run a fountain session over a live
+/// [`Experiment`](crate::experiment::Experiment) — the fountain
+/// analogue of [`session_over_experiment`], with identical channel
+/// semantics (trigger match = tag heard, lost block ACK = no readout,
+/// idle rounds burn real airtime).
+pub fn fountain_session_over_experiment(
+    exp: &mut crate::experiment::Experiment,
+    message: &[u8],
+    cfg: &FountainConfig,
+) -> Result<FountainReport, TagnetError> {
+    fountain_session_over_experiment_obs(exp, message, cfg, &mut NullRecorder)
+}
+
+/// [`fountain_session_over_experiment`] with observability: the
+/// driver's events and the experiment rounds' events interleave into
+/// one recorder in execution order, sharing the session's round
+/// numbering (same [`SharedRecorder`] routing as
+/// [`session_over_experiment_obs`]).
+pub fn fountain_session_over_experiment_obs(
+    exp: &mut crate::experiment::Experiment,
+    message: &[u8],
+    cfg: &FountainConfig,
+    rec: &mut dyn Recorder,
+) -> Result<FountainReport, TagnetError> {
+    let channel_bits = exp.design.bits_per_query();
+    exp.set_trace_base(0);
+    let cell = RefCell::new(rec);
+    let dyn_cell: &RefCell<dyn Recorder + '_> = &cell;
+    let mut driver_rec = SharedRecorder::new(dyn_cell);
+    let mut channel_rec = SharedRecorder::new(dyn_cell);
+    run_fountain_session_obs(message, channel_bits, cfg, &mut driver_rec, |q, tx| {
+        if matches!(q, FountainQuery::Idle) {
             exp.run_idle_obs(&mut channel_rec);
             return RoundOutcome {
                 tag_heard: false,

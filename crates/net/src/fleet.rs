@@ -28,6 +28,7 @@
 //! buffered per-replica traces replayed in replica order, so traces and
 //! stats are byte-identical at any thread count.
 
+use witag::fountain::{FountainQuery, FountainReceiver, FountainSender};
 use witag::tagnet::{
     decode_chunk, parse_base_report, SessionQuery, SessionSender, TagnetError,
     CHUNK_PAYLOAD_BITS, MIN_CHANNEL_BITS,
@@ -44,6 +45,7 @@ use witag_sim::stats::SampleSet;
 use witag_sim::time::{Duration, Instant};
 use witag_sim::{par_map, EventQueue, Rng};
 
+use crate::predict::TrafficPredictor;
 use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
 
 /// Airtime of the duration-coded marker signature preceding every query
@@ -64,6 +66,41 @@ const COOLDOWN_AFTER: u32 = 2;
 /// Cooldown growth cap: `exchange_airtime << 6` = 64 exchanges, small
 /// enough that a duty-cycled tag's ON window is never skipped whole.
 const COOLDOWN_CAP_EXP: u32 = 6;
+
+/// Busy forecast above which the `pred` policy defers all but one
+/// contending client. Below it the medium is calm enough that ordinary
+/// DCF contention is cheaper than serialisation.
+const PRED_BUSY_THRESHOLD: f64 = 0.35;
+
+/// Which session transport every link in a fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Selective-repeat ARQ sessions (`tagnet::run_session` semantics).
+    Arq,
+    /// Rateless fountain sessions (`tagnet::run_fountain_session`
+    /// semantics): coded symbols stream until the client's decoder
+    /// completes, no per-chunk retransmission state.
+    Fountain,
+}
+
+impl Transport {
+    /// Parse a CLI spelling (`arq`, `fountain`).
+    pub fn parse(s: &str) -> Option<Transport> {
+        match s {
+            "arq" => Some(Transport::Arq),
+            "fountain" => Some(Transport::Fountain),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Arq => "arq",
+            Transport::Fountain => "fountain",
+        }
+    }
+}
 
 /// Energy-harvesting duty cycle: the tag is awake only while
 /// `(now + phase) mod period` falls inside the ON fraction. Purely a
@@ -120,8 +157,11 @@ pub struct FleetConfig {
     /// Master seed; every stream (MAC backoff, fault plans, collision
     /// corruption) forks from it.
     pub seed: u64,
-    /// Session selective-repeat window (1..=`MAX_WINDOW`).
+    /// Session selective-repeat window (1..=`MAX_WINDOW`; ignored by
+    /// the fountain transport, which has no window).
     pub window: usize,
+    /// Session transport every link runs.
+    pub transport: Transport,
     /// Per-tag link profiles; tag `i` is assigned to client
     /// `i % clients`.
     pub profiles: Vec<TagProfile>,
@@ -162,8 +202,15 @@ impl FleetConfig {
             horizon,
             seed,
             window: 4,
+            transport: Transport::Arq,
             profiles,
         }
+    }
+
+    /// The same fleet on a different session transport.
+    pub fn with_transport(mut self, transport: Transport) -> FleetConfig {
+        self.transport = transport;
+        self
     }
 
     /// Give every tag an energy-harvesting duty cycle with the given
@@ -471,11 +518,89 @@ impl FlowClient {
     }
 }
 
+/// One round's query, over either transport.
+enum ProtoQuery {
+    Arq(SessionQuery),
+    Fountain(FountainQuery),
+}
+
+/// One link's transport state machines — the tag side and the client
+/// side of whichever transport the fleet runs, reduced to the
+/// serve/commit/absorb/complete shape `TagLink::run_round` drives.
+enum LinkProto {
+    /// Selective-repeat ARQ: `SessionSender` + the steppable
+    /// `FlowClient` bookkeeping.
+    Arq {
+        sender: SessionSender,
+        flow: FlowClient,
+    },
+    /// Rateless fountain: `FountainSender` + `FountainReceiver`
+    /// (boxed: the receiver's decoder state dwarfs the ARQ variant).
+    Fountain {
+        sender: FountainSender,
+        recv: Box<FountainReceiver>,
+    },
+}
+
+impl LinkProto {
+    /// The next query and the bits the tag would modulate for it.
+    fn serve(&self, channel_bits: usize) -> Result<(ProtoQuery, Vec<u8>), TagnetError> {
+        match self {
+            LinkProto::Arq { sender, flow } => {
+                let q = flow.next_query();
+                let tx = sender.serve(&q, channel_bits)?;
+                Ok((ProtoQuery::Arq(q), tx))
+            }
+            LinkProto::Fountain { sender, recv } => {
+                let q = recv.next_query();
+                let tx = sender.serve(&q, channel_bits)?;
+                Ok((ProtoQuery::Fountain(q), tx))
+            }
+        }
+    }
+
+    /// Apply the tag-side state effect of a query the tag heard.
+    fn commit(&mut self, q: &ProtoQuery) {
+        match (self, q) {
+            (LinkProto::Arq { sender, .. }, ProtoQuery::Arq(q)) => sender.commit(q),
+            (LinkProto::Fountain { sender, .. }, ProtoQuery::Fountain(q)) => sender.commit(q),
+            _ => {}
+        }
+    }
+
+    /// Fold one readout into the client side; returns freshly recovered
+    /// payload bits.
+    fn absorb(&mut self, q: &ProtoQuery, readout: Option<&[u8]>, channel_bits: usize) -> usize {
+        match (self, q) {
+            (LinkProto::Arq { flow, .. }, ProtoQuery::Arq(q)) => {
+                flow.absorb(q, readout, channel_bits)
+            }
+            (LinkProto::Fountain { recv, .. }, ProtoQuery::Fountain(q)) => {
+                recv.absorb(q, readout, channel_bits).solved_bits
+            }
+            _ => 0,
+        }
+    }
+
+    fn complete(&self) -> bool {
+        match self {
+            LinkProto::Arq { flow, .. } => flow.complete(),
+            LinkProto::Fountain { recv, .. } => recv.complete(),
+        }
+    }
+
+    fn assemble(&self) -> Option<Vec<u8>> {
+        match self {
+            LinkProto::Arq { flow, .. } => flow.assemble(),
+            LinkProto::Fountain { recv, .. } => recv.assemble(),
+        }
+    }
+}
+
 /// One tag's live link state inside the fleet loop.
 struct TagLink {
     client: usize,
-    sender: SessionSender,
-    flow: FlowClient,
+    proto: LinkProto,
     injector: Option<FaultInjector>,
     duty: Option<DutyCycle>,
     channel_bits: usize,
@@ -504,8 +629,7 @@ impl TagLink {
         start: Instant,
         collision_frac: Option<f64>,
     ) -> Result<bool, NetError> {
-        let q = self.flow.next_query();
-        let tx = self.sender.serve(&q, self.channel_bits)?;
+        let (q, tx) = self.proto.serve(self.channel_bits)?;
         let rf = match self.injector.as_mut() {
             Some(inj) => inj.begin_round(),
             None => RoundFaults::inert(),
@@ -542,11 +666,11 @@ impl TagLink {
             }
         }
         if tag_heard {
-            self.sender.commit(&q);
+            self.proto.commit(&q);
         }
         let alive = readout.as_ref().is_some_and(|bits| bits.contains(&0));
         self.payload_bits += self
-            .flow
+            .proto
             .absorb(&q, readout.as_deref(), self.channel_bits) as u32;
         self.rounds += 1;
         Ok(alive)
@@ -569,9 +693,9 @@ impl TagLink {
                 self.ready_at = t_end;
             }
         }
-        if !self.done && self.flow.complete() {
+        if !self.done && self.proto.complete() {
             self.done = true;
-            self.delivered = self.flow.assemble().is_some();
+            self.delivered = self.proto.assemble().is_some();
             self.finished_at = Some(t_end);
             true
         } else {
@@ -612,7 +736,16 @@ fn build_links(cfg: &FleetConfig) -> Result<Vec<TagLink>, NetError> {
                 channel_bits: prof.channel_bits,
             });
         }
-        let sender = SessionSender::new(&prof.message, cfg.window)?;
+        let proto = match cfg.transport {
+            Transport::Arq => LinkProto::Arq {
+                sender: SessionSender::new(&prof.message, cfg.window)?,
+                flow: FlowClient::new(cfg.window),
+            },
+            Transport::Fountain => LinkProto::Fountain {
+                sender: FountainSender::new(&prof.message)?,
+                recv: Box::new(FountainReceiver::new()),
+            },
+        };
         // Payload window plus two guard subframes, like the query
         // designer's layouts.
         let subframes = prof.channel_bits + 2;
@@ -622,8 +755,7 @@ fn build_links(cfg: &FleetConfig) -> Result<Vec<TagLink>, NetError> {
             + block_ack_airtime(LegacyRate::M24);
         links.push(TagLink {
             client: tag % cfg.clients,
-            sender,
-            flow: FlowClient::new(cfg.window),
+            proto,
             injector: prof.faults.clone().map(FaultInjector::new),
             duty: prof.duty,
             channel_bits: prof.channel_bits,
@@ -677,6 +809,11 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
     queue.schedule(Instant::ZERO, ());
     let end = Instant::ZERO + cfg.horizon;
     let ignore_cooldown = cfg.scheduler.ignores_cooldown();
+    let pred_active = matches!(cfg.scheduler, SchedulerKind::Pred);
+    let mut predictor = TrafficPredictor::new();
+    // Per-client starvation counters for the deferral election: the
+    // client that has deferred longest goes next (ties to lowest id).
+    let mut defer_streak: Vec<u64> = vec![0; cfg.clients];
     let mut fleet_round = 0u64;
     let mut grants = 0u64;
     let mut collisions = 0u64;
@@ -701,7 +838,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
                 deadline: link.deadline,
             });
         }
-        let contenders: Vec<usize> = (0..cfg.clients)
+        let mut contenders: Vec<usize> = (0..cfg.clients)
             .filter(|&c| !per_client[c].is_empty())
             .collect();
         if contenders.is_empty() {
@@ -714,6 +851,46 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
                 }
                 None => break,
             }
+        }
+
+        // Predictive deferral: while ambient contention is forecast
+        // high, elect a single client (longest defer streak, ties to
+        // lowest id) and tell the rest to sit the access out. The
+        // elected client then wins the medium uncontested, turning
+        // forecast-busy slots into serialised quiet ones. Deterministic:
+        // the election reads only simulation state.
+        if pred_active && contenders.len() > 1 && predictor.forecast() > PRED_BUSY_THRESHOLD {
+            let mut elected = contenders[0];
+            for &c in &contenders[1..] {
+                if defer_streak[c] > defer_streak[elected] {
+                    elected = c;
+                }
+            }
+            let deferred = contenders.len() - 1;
+            for &c in &contenders {
+                if c != elected {
+                    defer_streak[c] += 1;
+                }
+            }
+            defer_streak[elected] = 0;
+            if rec.enabled() {
+                rec.record(&Event::NetPredict {
+                    round: fleet_round,
+                    client: elected as u32,
+                    busy_ewma: predictor.busy_ewma(),
+                    p_busy: predictor.forecast(),
+                    deferred: deferred as u32,
+                });
+            }
+            contenders = vec![elected];
+        } else if pred_active && rec.enabled() {
+            rec.record(&Event::NetPredict {
+                round: fleet_round,
+                client: contenders[0] as u32,
+                busy_ewma: predictor.busy_ewma(),
+                p_busy: predictor.forecast(),
+                deferred: 0,
+            });
         }
 
         // DCF access: draw/hold per-client backoff counters, count down
@@ -807,6 +984,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
                 }
             }
         }
+        predictor.observe(picks.len() > 1, busy);
         fleet_round += 1;
         elapsed = t_end.min(end) - Instant::ZERO;
         queue.schedule(t_end, ());
@@ -967,6 +1145,53 @@ mod tests {
             "hostile fleet delivered only {}/6",
             rep.delivered()
         );
+    }
+
+    #[test]
+    fn fountain_fleet_delivers_every_tag() {
+        let cfg = small(2, 8, SchedulerKind::Fair).with_transport(Transport::Fountain);
+        let rep = run_fleet(&cfg, &mut NullRecorder).expect("valid fleet");
+        assert_eq!(rep.delivered(), 8, "{rep:?}");
+    }
+
+    #[test]
+    fn hostile_fountain_fleet_converges() {
+        let mut cfg = small(2, 6, SchedulerKind::Fair).with_transport(Transport::Fountain);
+        for (i, p) in cfg.profiles.iter_mut().enumerate() {
+            p.faults = Some(FaultPlan::hostile_scaled(100 + i as u64, 0.5));
+        }
+        cfg.horizon = Duration::secs(20);
+        let rep = run_fleet(&cfg, &mut NullRecorder).expect("valid");
+        assert!(
+            rep.delivered() >= 5,
+            "hostile fountain fleet delivered only {}/6",
+            rep.delivered()
+        );
+    }
+
+    #[test]
+    fn pred_policy_emits_predict_events_and_delivers() {
+        let mut buf = BufferRecorder::new();
+        let rep = run_fleet(&small(3, 9, SchedulerKind::Pred), &mut buf).expect("valid");
+        assert_eq!(rep.delivered(), 9, "{rep:?}");
+        let predicts = buf
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "net.predict")
+            .count();
+        assert!(predicts > 0, "pred fleets must emit net.predict");
+        // Non-pred fleets must not.
+        let mut quiet = BufferRecorder::new();
+        run_fleet(&small(3, 9, SchedulerKind::Fair), &mut quiet).expect("valid");
+        assert!(quiet.events().iter().all(|e| e.kind() != "net.predict"));
+    }
+
+    #[test]
+    fn transport_parse_roundtrips() {
+        for t in [Transport::Arq, Transport::Fountain] {
+            assert_eq!(Transport::parse(t.name()), Some(t));
+        }
+        assert_eq!(Transport::parse("bogus"), None);
     }
 
     #[test]

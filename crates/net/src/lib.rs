@@ -9,10 +9,13 @@
 //! supplies what the sketch leaves open — who gets the medium
 //! ([`witag_mac::dcf`]-style contention with real PHY airtime), which
 //! tag each winner queries next (a pluggable [`Scheduler`] with
-//! round-robin, airtime-fair DRR, EDF, and a serial baseline), and what
-//! happens when two clients' queries overlap in the air (the
+//! round-robin, airtime-fair DRR, EDF, a traffic-predictive `pred`
+//! policy backed by [`TrafficPredictor`], and a serial baseline), and
+//! what happens when two clients' queries overlap in the air (the
 //! overlapping fraction of each readout is bit-corrupted and judged by
-//! the transport's normal chunk CRC, not dropped by fiat).
+//! the transport's normal chunk CRC, not dropped by fiat). Links run
+//! either the selective-repeat ARQ session transport or the rateless
+//! fountain transport ([`Transport`]), selected per fleet.
 //!
 //! Everything is a pure function of the seed: same
 //! [`FleetConfig`] → byte-identical `net.*` trace and identical
@@ -25,12 +28,14 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod predict;
 pub mod scheduler;
 
 pub use fleet::{
     run_fleet, run_replicas, DutyCycle, FleetConfig, FleetReport, NetError, TagOutcome,
-    TagProfile, MARKER_AIRTIME,
+    TagProfile, Transport, MARKER_AIRTIME,
 };
+pub use predict::TrafficPredictor;
 pub use scheduler::{
     Candidate, EdfScheduler, FairScheduler, RrScheduler, Scheduler, SchedulerKind,
     SerialScheduler,

@@ -35,16 +35,23 @@ pub enum SchedulerKind {
     /// Serial one-tag-at-a-time polling ([`SerialScheduler`]) — the
     /// baseline, not a production policy.
     Serial,
+    /// Traffic-predictive airtime fairness: per-tag picks come from
+    /// [`FairScheduler`], but the fleet loop additionally consults a
+    /// [`TrafficPredictor`](crate::TrafficPredictor) and defers all but
+    /// one contending client while ambient contention is forecast high
+    /// (the FlexScatter-style "grant when the medium is calm" policy).
+    Pred,
 }
 
 impl SchedulerKind {
-    /// Parse a CLI spelling (`rr`, `fair`, `edf`, `serial`).
+    /// Parse a CLI spelling (`rr`, `fair`, `edf`, `serial`, `pred`).
     pub fn parse(s: &str) -> Option<SchedulerKind> {
         match s {
             "rr" => Some(SchedulerKind::Rr),
             "fair" => Some(SchedulerKind::Fair),
             "edf" => Some(SchedulerKind::Edf),
             "serial" => Some(SchedulerKind::Serial),
+            "pred" => Some(SchedulerKind::Pred),
             _ => None,
         }
     }
@@ -56,6 +63,7 @@ impl SchedulerKind {
             SchedulerKind::Fair => "fair",
             SchedulerKind::Edf => "edf",
             SchedulerKind::Serial => "serial",
+            SchedulerKind::Pred => "pred",
         }
     }
 
@@ -66,11 +74,13 @@ impl SchedulerKind {
         matches!(self, SchedulerKind::Serial)
     }
 
-    /// Instantiate the policy.
+    /// Instantiate the policy. `Pred`'s per-tag picking *is* airtime
+    /// fairness — the predictive deferral lives in the fleet loop's
+    /// medium-access logic, not in the per-client scheduler.
     pub fn build(self) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Rr => Box::new(RrScheduler::new()),
-            SchedulerKind::Fair => Box::new(FairScheduler::new()),
+            SchedulerKind::Fair | SchedulerKind::Pred => Box::new(FairScheduler::new()),
             SchedulerKind::Edf => Box::new(EdfScheduler),
             SchedulerKind::Serial => Box::new(SerialScheduler),
         }
@@ -303,6 +313,7 @@ mod tests {
             SchedulerKind::Fair,
             SchedulerKind::Edf,
             SchedulerKind::Serial,
+            SchedulerKind::Pred,
         ] {
             assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
         }

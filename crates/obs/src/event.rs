@@ -21,7 +21,7 @@ pub const SCHEMA: &str = "witag-obs/1";
 /// [`MetricsRecorder`](crate::MetricsRecorder) and
 /// [`TraceSummary`](crate::TraceSummary) index their per-kind counters
 /// by position in this list.
-pub const KINDS: [&str; 15] = [
+pub const KINDS: [&str; 18] = [
     "phy_rx",
     "ba",
     "round",
@@ -37,6 +37,9 @@ pub const KINDS: [&str; 15] = [
     "net.grant",
     "net.collision",
     "net.session_done",
+    "tagnet.symbol",
+    "tagnet.decode_progress",
+    "net.predict",
 ];
 
 /// Names for the fault-class bit positions of a `fault` event's `mask`
@@ -263,6 +266,44 @@ pub enum Event {
         /// Completion time from fleet start, microseconds.
         latency_us: u64,
     },
+    /// The fountain transport moved one coded symbol (or failed to):
+    /// one event per SYMBOL round of a fountain session.
+    TagnetSymbol {
+        /// 0-based fountain-session round index.
+        round: u64,
+        /// The client's resolved encoding-symbol id for the round
+        /// (its esi lower bound when the round was not accepted).
+        esi: u64,
+        /// Whether the readout decoded and folded into the decoder.
+        accepted: bool,
+    },
+    /// The fountain decoder made progress: emitted whenever accepted
+    /// symbols newly solve source chunks.
+    TagnetDecodeProgress {
+        /// 0-based fountain-session round index.
+        round: u64,
+        /// Source chunks solved so far.
+        solved: u32,
+        /// Source chunks in the block (header included).
+        source: u32,
+        /// Distinct coded symbols absorbed so far.
+        received: u32,
+    },
+    /// The traffic predictor's forecast at one medium access (emitted
+    /// only when the `pred` scheduling policy is active).
+    NetPredict {
+        /// Fleet medium-round index (grants and collisions share one
+        /// counter).
+        round: u64,
+        /// The client the forecast gated.
+        client: u32,
+        /// EWMA of the observed busy indicator.
+        busy_ewma: f64,
+        /// Blended Markov + EWMA busy forecast for the next access.
+        p_busy: f64,
+        /// Clients told to defer this round.
+        deferred: u32,
+    },
 }
 
 impl Event {
@@ -290,6 +331,9 @@ impl Event {
             Event::NetGrant { .. } => 12,
             Event::NetCollision { .. } => 13,
             Event::NetSessionDone { .. } => 14,
+            Event::TagnetSymbol { .. } => 15,
+            Event::TagnetDecodeProgress { .. } => 16,
+            Event::NetPredict { .. } => 17,
         }
     }
 
@@ -461,6 +505,38 @@ impl Event {
                      \"latency_us\":{latency_us}"
                 );
             }
+            Event::TagnetSymbol {
+                round,
+                esi,
+                accepted,
+            } => {
+                let _ = write!(out, ",\"round\":{round},\"esi\":{esi},\"accepted\":{accepted}");
+            }
+            Event::TagnetDecodeProgress {
+                round,
+                solved,
+                source,
+                received,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"solved\":{solved},\"source\":{source},\
+                     \"received\":{received}"
+                );
+            }
+            Event::NetPredict {
+                round,
+                client,
+                busy_ewma,
+                p_busy,
+                deferred,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"round\":{round},\"client\":{client},\"busy_ewma\":{busy_ewma:.4},\
+                     \"p_busy\":{p_busy:.4},\"deferred\":{deferred}"
+                );
+            }
         }
         out.push('}');
     }
@@ -552,6 +628,24 @@ pub(crate) fn all_sample_events() -> Vec<Event> {
             rounds: 12,
             payload_bits: 240,
             latency_us: 48_200,
+        },
+        Event::TagnetSymbol {
+            round: 7,
+            esi: 5,
+            accepted: true,
+        },
+        Event::TagnetDecodeProgress {
+            round: 7,
+            solved: 4,
+            source: 9,
+            received: 5,
+        },
+        Event::NetPredict {
+            round: 12,
+            client: 1,
+            busy_ewma: 0.4375,
+            p_busy: 0.3912,
+            deferred: 1,
         },
     ]
 }

@@ -16,7 +16,7 @@
 //! ```
 
 use witag_faults::FaultPlan;
-use witag_net::{run_fleet, DutyCycle, FleetConfig, SchedulerKind};
+use witag_net::{run_fleet, DutyCycle, FleetConfig, SchedulerKind, Transport};
 use witag_obs::NullRecorder;
 use witag_sim::time::Duration;
 
@@ -24,9 +24,10 @@ const CLIENTS: usize = 3;
 const TAGS: usize = 50;
 const SEED: u64 = 0xA11;
 
-/// The shared fleet: only the scheduler varies between runs.
-fn fleet(kind: SchedulerKind) -> FleetConfig {
-    let mut cfg = FleetConfig::inventory(CLIENTS, TAGS, kind, Duration::secs(30), SEED);
+/// The shared fleet: only the scheduler and transport vary between runs.
+fn fleet(kind: SchedulerKind, transport: Transport) -> FleetConfig {
+    let mut cfg = FleetConfig::inventory(CLIENTS, TAGS, kind, Duration::secs(30), SEED)
+        .with_transport(transport);
     for (i, p) in cfg.profiles.iter_mut().enumerate() {
         match i % 3 {
             // Clean aisle: nothing between tag and reader.
@@ -55,23 +56,27 @@ fn main() {
     println!("tag mix: 1/3 clean, 1/3 hostile (intensity 0.6), 1/3 duty-cycled (15% of 3 s)\n");
 
     println!(
-        "{:>9} {:>11} {:>14} {:>12} {:>13} {:>11} {:>11}",
-        "scheduler", "delivered", "goodput bps", "p50 ms", "p99 ms", "coll rate", "deadlines"
+        "{:>9} {:>9} {:>11} {:>14} {:>12} {:>13} {:>11} {:>11}",
+        "scheduler", "transport", "delivered", "goodput bps", "p50 ms", "p99 ms", "coll rate", "deadlines"
     );
-    for kind in [
-        SchedulerKind::Serial,
-        SchedulerKind::Rr,
-        SchedulerKind::Fair,
-        SchedulerKind::Edf,
+    for (kind, transport) in [
+        (SchedulerKind::Serial, Transport::Arq),
+        (SchedulerKind::Rr, Transport::Arq),
+        (SchedulerKind::Fair, Transport::Arq),
+        (SchedulerKind::Edf, Transport::Arq),
+        (SchedulerKind::Pred, Transport::Arq),
+        (SchedulerKind::Fair, Transport::Fountain),
+        (SchedulerKind::Pred, Transport::Fountain),
     ] {
-        let rep = run_fleet(&fleet(kind), &mut NullRecorder).expect("viable fleet");
+        let rep = run_fleet(&fleet(kind, transport), &mut NullRecorder).expect("viable fleet");
         let ms = |p: f64| {
             rep.latency_percentile(p)
                 .map_or_else(|| "-".to_string(), |us| format!("{:.0}", us / 1000.0))
         };
         println!(
-            "{:>9} {:>8}/{TAGS} {:>14.1} {:>12} {:>13} {:>11.3} {:>8}/{}",
+            "{:>9} {:>9} {:>8}/{TAGS} {:>14.1} {:>12} {:>13} {:>11.3} {:>8}/{}",
             kind.name(),
+            transport.name(),
             rep.delivered(),
             rep.goodput_bps(),
             ms(50.0),
@@ -89,6 +94,12 @@ fn main() {
     println!("consumed airtime) both skips cooling tags and stops hostile links'");
     println!("retries from hogging the medium — highest goodput. `edf` chases");
     println!("the per-tag deadlines instead, trading a little goodput for");
-    println!("deadline hits. Same seed, same medium, byte-identical reruns:");
-    println!("the only variable on that table is the scheduling policy.");
+    println!("deadline hits. `pred` adds the FlexScatter move: a traffic");
+    println!("predictor watches the medium and defers contending readers while");
+    println!("collisions are forecast — fewer collisions, calmer tails. The");
+    println!("`fountain` rows swap the per-chunk ARQ session for the rateless");
+    println!("LT transport: the hostile third stops paying per-loss retransmit");
+    println!("round-trips, because any fresh symbol advances the decode. Same");
+    println!("seed, same medium, byte-identical reruns: the only variables on");
+    println!("that table are the scheduling policy and the transport.");
 }

@@ -1,0 +1,105 @@
+//! Property tests for the rateless fountain codec: whatever loss and
+//! reordering pattern the generator dreams up, the decoder either
+//! reconstructs the exact bytes or keeps asking for more symbols —
+//! never silent corruption — and the degree distribution stays a
+//! proper probability distribution for every block size.
+
+mod common;
+
+use common::test_message;
+use proptest::prelude::*;
+use witag::fountain::{DegreeDistribution, FountainDecoder, FountainEncoder};
+use witag_sim::Rng;
+
+/// Hard ceiling on symbols fed per case — far beyond the `k + O(√k)`
+/// overhead the robust soliton needs, so hitting it means a real bug,
+/// not an unlucky draw.
+const SYMBOL_BUDGET: u64 = 4096;
+
+/// Feed symbols from `esis` (in the given order) until the decoder
+/// completes, then keep pulling fresh sequential ids if the supplied
+/// set was rank-deficient. Returns the number of symbols consumed.
+fn decode_from(enc: &FountainEncoder, dec: &mut FountainDecoder, esis: &[u64]) -> u64 {
+    let mut fed = 0u64;
+    for &esi in esis {
+        if dec.complete() {
+            break;
+        }
+        dec.absorb(esi, &enc.symbol(esi));
+        fed += 1;
+    }
+    let mut next = esis.iter().copied().max().map_or(0, |m| m + 1);
+    while !dec.complete() && fed < SYMBOL_BUDGET {
+        dec.absorb(next, &enc.symbol(next));
+        next += 1;
+        fed += 1;
+    }
+    fed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// In-order delivery with random per-symbol loss: the decoder
+    /// finishes within the symbol budget and hands back the exact
+    /// message, whatever the overhead the loss pattern forces.
+    #[test]
+    fn roundtrip_at_random_overhead(
+        msg_len in 1usize..192,
+        msg_seed in any::<u64>(),
+        loss_seed in any::<u64>(),
+        loss in 0.0f64..0.7,
+    ) {
+        let message = test_message(msg_len, msg_seed);
+        let enc = FountainEncoder::new(&message).expect("valid message");
+        let mut dec = FountainDecoder::new(enc.source_count());
+        let mut drop = Rng::seed_from_u64(loss_seed);
+        let kept: Vec<u64> = (0..SYMBOL_BUDGET).filter(|_| !drop.chance(loss)).collect();
+        let fed = decode_from(&enc, &mut dec, &kept);
+        prop_assert!(dec.complete(), "budget exhausted after {fed} symbols");
+        prop_assert_eq!(dec.assemble(), Some(message));
+    }
+
+    /// Arbitrary reordering on top of loss: shuffle a window of symbol
+    /// ids, drop a prefix of it, and deliver the rest out of order. The
+    /// decoder neither needs sequencing nor duplicates suppression from
+    /// the channel — any sufficiently large symbol subset reconstructs
+    /// the block byte-identically.
+    #[test]
+    fn survives_loss_and_reordering(
+        msg_len in 1usize..160,
+        msg_seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        drop_frac in 0.0f64..0.5,
+    ) {
+        let message = test_message(msg_len, msg_seed);
+        let enc = FountainEncoder::new(&message).expect("valid message");
+        let k = enc.source_count() as u64;
+        let mut esis: Vec<u64> = (0..3 * k + 24).collect();
+        let mut rng = Rng::seed_from_u64(shuffle_seed);
+        rng.shuffle(&mut esis);
+        let dropped = (esis.len() as f64 * drop_frac) as usize;
+        let survivors = &esis[dropped..];
+        let mut dec = FountainDecoder::new(enc.source_count());
+        decode_from(&enc, &mut dec, survivors);
+        prop_assert!(dec.complete());
+        prop_assert_eq!(dec.assemble(), Some(message));
+        prop_assert!(dec.received() as u64 >= k, "cannot finish below rank k");
+    }
+
+    /// The robust-soliton table is a probability distribution for every
+    /// block size: strictly non-negative, sums to one, and sampling any
+    /// quantile lands on a degree in `1..=k`.
+    #[test]
+    fn degree_distribution_sums_to_one(
+        k in 1usize..400,
+        u in 0.0f64..1.0,
+    ) {
+        let dist = DegreeDistribution::robust_soliton(k);
+        let total: f64 = dist.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pdf sums to {total}");
+        prop_assert!(dist.probabilities().iter().all(|&p| p >= 0.0));
+        let d = dist.sample(u);
+        prop_assert!((1..=k).contains(&d), "degree {d} outside 1..={k}");
+    }
+}

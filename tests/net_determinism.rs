@@ -7,7 +7,7 @@
 //! while round-robin lets it hog the medium.
 
 use witag_faults::FaultPlan;
-use witag_net::{run_fleet, run_replicas, FleetConfig, SchedulerKind};
+use witag_net::{run_fleet, run_replicas, FleetConfig, SchedulerKind, Transport};
 use witag_obs::{BufferRecorder, NullRecorder};
 use witag_sim::time::Duration;
 
@@ -112,6 +112,93 @@ fn airtime_fair_bounds_the_adversarial_fast_tag() {
             "fair must not starve tag {tag}: shares {shares:?}"
         );
     }
+}
+
+#[test]
+fn fountain_replica_traces_are_byte_identical_across_thread_counts() {
+    // The rateless transport adds per-link decoder state (esi belief,
+    // placement, repair) on top of the fault machinery — all of it must
+    // still replay byte-identically at any worker count.
+    let cfg = hostile_fleet(11).with_transport(Transport::Fountain);
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let a = run_replicas(&cfg, 3, 1, &mut one).expect("valid fleet");
+    let b = run_replicas(&cfg, 3, 4, &mut four).expect("valid fleet");
+    assert_eq!(a, b, "fountain aggregate stats must not depend on threads");
+    assert_eq!(trace_bytes(&one), trace_bytes(&four));
+    assert!(!one.events().is_empty());
+}
+
+#[test]
+fn fountain_hundred_tag_inventory_is_deterministic_and_complete() {
+    // Clean-channel mirror of the ARQ completeness gate: a systematic
+    // fountain session costs exactly k symbol rounds per tag, so the
+    // full 100-tag inventory must still finish inside the horizon.
+    let cfg = FleetConfig::inventory(2, 100, SchedulerKind::Fair, Duration::secs(30), 42)
+        .with_transport(Transport::Fountain);
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let a = run_replicas(&cfg, 1, 1, &mut one).expect("valid fleet");
+    let b = run_replicas(&cfg, 1, 4, &mut four).expect("valid fleet");
+    assert_eq!(a, b);
+    assert_eq!(trace_bytes(&one), trace_bytes(&four));
+    assert_eq!(a[0].delivered(), 100, "full inventory must complete");
+    assert!(a[0].elapsed < cfg.horizon);
+}
+
+#[test]
+fn fountain_beats_arq_on_the_hostile_loaded_fleet() {
+    // The PR-6 acceptance condition, pinned: under the stock PR-1
+    // hostile fault plan on every link of a 100-tag loaded fleet, the
+    // fountain transport delivers at least the ARQ stack's payload
+    // count with lower p99 latency. Mirrors the perf_gate intensity-1.0
+    // rows in BENCH_net.json.
+    let run = |transport: Transport| {
+        let mut cfg =
+            FleetConfig::inventory(2, 100, SchedulerKind::Fair, Duration::secs(30), 0xBE)
+                .with_transport(transport);
+        for (i, p) in cfg.profiles.iter_mut().enumerate() {
+            p.faults = Some(FaultPlan::hostile(0xBE ^ i as u64));
+        }
+        run_fleet(&cfg, &mut NullRecorder).expect("viable fleet")
+    };
+    let arq = run(Transport::Arq);
+    let fount = run(Transport::Fountain);
+    assert!(
+        fount.delivered() >= arq.delivered(),
+        "fountain must deliver at least ARQ's count: {} vs {}",
+        fount.delivered(),
+        arq.delivered()
+    );
+    let arq_p99 = arq.latency_percentile(99.0).expect("arq delivered something");
+    let fount_p99 = fount.latency_percentile(99.0).expect("fountain delivered something");
+    assert!(
+        fount_p99 < arq_p99,
+        "fountain p99 must beat ARQ: {fount_p99:.0}us vs {arq_p99:.0}us"
+    );
+}
+
+#[test]
+fn pred_policy_is_deterministic_and_completes_the_inventory() {
+    // The traffic-predictive policy folds an EWMA + Markov busy model
+    // into every medium-access decision; its deferrals must replay
+    // byte-identically across thread counts and must not cost delivery
+    // on the standard inventory fleet.
+    let cfg = hostile_fleet(13);
+    let cfg = FleetConfig {
+        scheduler: SchedulerKind::Pred,
+        ..cfg
+    };
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let a = run_replicas(&cfg, 2, 1, &mut one).expect("valid fleet");
+    let b = run_replicas(&cfg, 2, 4, &mut four).expect("valid fleet");
+    assert_eq!(a, b);
+    assert_eq!(trace_bytes(&one), trace_bytes(&four));
+    assert!(
+        trace_bytes(&one).contains("\"kind\":\"net.predict\""),
+        "pred policy must emit net.predict events"
+    );
 }
 
 #[test]

@@ -6,9 +6,14 @@
 //! budget this is what makes `--trace` safe to leave on in CI.
 
 use witag::experiment::{Experiment, ExperimentConfig, ExperimentStats, PARALLEL_SHARD_ROUNDS};
-use witag::tagnet::{session_over_experiment_obs, SessionConfig, SessionOutcome};
+use witag::tagnet::{
+    fountain_session_over_experiment_obs, session_over_experiment_obs, FountainConfig,
+    SessionConfig, SessionOutcome,
+};
 use witag_faults::FaultPlan;
+use witag_net::{run_replicas, FleetConfig, SchedulerKind, Transport};
 use witag_obs::{jsonl, BufferRecorder, JsonlRecorder, Recorder, TraceSummary, SCHEMA};
+use witag_sim::time::Duration;
 
 fn quiet_cfg(seed: u64) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::fig5(1.0, seed);
@@ -150,6 +155,80 @@ fn session_trace_is_reproducible_and_complete() {
     assert!(summary.count("fault") > 0);
     let rendered = summary.render();
     assert!(rendered.contains("session_done"));
+}
+
+#[test]
+fn fountain_session_trace_is_reproducible_and_counts_add_up() {
+    let run_once = || {
+        let mut exp = Experiment::new(quiet_cfg(42)).unwrap();
+        exp.attach_faults(FaultPlan::hostile_scaled(7, 0.6));
+        let cfg = FountainConfig::default();
+        let mut rec = JsonlRecorder::in_memory();
+        let report =
+            fountain_session_over_experiment_obs(&mut exp, b"obs trace", &cfg, &mut rec).unwrap();
+        (rec.finish().unwrap(), report)
+    };
+    let (bytes_a, report_a) = run_once();
+    let (bytes_b, _) = run_once();
+    assert_eq!(bytes_a, bytes_b, "same seed => same fountain trace bytes");
+    assert!(matches!(report_a.outcome, SessionOutcome::Delivered(_)));
+
+    let text = String::from_utf8(bytes_a).unwrap();
+    let mut summary = TraceSummary::default();
+    for line in text.lines() {
+        summary.ingest_line(line);
+    }
+    assert_eq!(summary.schema(), Some(SCHEMA));
+    assert_eq!(summary.unknown(), 0, "every fountain kind must be known to the schema");
+    assert_eq!(summary.count("session_done"), 1);
+    assert_eq!(
+        summary.count("session_query") as usize,
+        report_a.stats.rounds,
+        "one query event per fountain round (idle rounds included)"
+    );
+    assert_eq!(
+        summary.count("tagnet.symbol") as usize,
+        report_a.stats.symbols,
+        "one tagnet.symbol event per SYMBOL round"
+    );
+    let progress = summary.count("tagnet.decode_progress") as usize;
+    assert!(progress > 0, "solves must be recorded");
+    assert!(
+        progress <= report_a.stats.accepted,
+        "decode progress only on accepted rounds"
+    );
+}
+
+#[test]
+fn fountain_fleet_jsonl_is_byte_identical_at_1_and_4_threads() {
+    // The full JSONL path (writer included) for a faulted fountain
+    // fleet: replica shards must replay in shard order regardless of
+    // worker count. The fleet layer speaks the net.* vocabulary (the
+    // per-round tagnet.* kinds are session-driver events, pinned by
+    // `fountain_session_trace_is_reproducible_and_counts_add_up`).
+    let mut cfg = FleetConfig::inventory(2, 8, SchedulerKind::Fair, Duration::millis(1500), 23)
+        .with_transport(Transport::Fountain);
+    for (i, p) in cfg.profiles.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            p.faults = Some(FaultPlan::hostile_scaled(23 ^ i as u64, 0.5));
+        }
+    }
+    let run = |threads: usize| {
+        let mut rec = JsonlRecorder::in_memory();
+        let reports = run_replicas(&cfg, 3, threads, &mut rec).expect("valid fleet");
+        (rec.finish().unwrap(), reports)
+    };
+    let (bytes_1t, reports_1t) = run(1);
+    let (bytes_4t, reports_4t) = run(4);
+    assert_eq!(reports_1t, reports_4t);
+    assert_eq!(bytes_1t, bytes_4t, "fountain fleet JSONL must be thread-count-invariant");
+    let text = String::from_utf8(bytes_1t).unwrap();
+    for kind in ["net.enqueue", "net.grant", "net.session_done"] {
+        assert!(
+            text.lines().any(|l| jsonl::field_str(l, "kind") == Some(kind)),
+            "fleet trace must carry {kind} events"
+        );
+    }
 }
 
 #[test]
