@@ -19,13 +19,30 @@ python3 -c "import json; r = json.load(open('LINT_report.json')); assert r['find
 
 # Perf gate smoke: run the baseline binary in quick mode (tiny iteration
 # counts, same code paths) and assert it emits parseable JSON — both the
-# PHY baseline and the net_scale fleet sweep. Thresholds are judged by
-# humans against EXPERIMENTS.md § "PERF GATE", not here.
+# PHY baseline and the net_scale fleet sweep. Most thresholds are judged
+# by humans against EXPERIMENTS.md § "PERF GATE", but the receive-chain
+# speedup is gated here: the quick run (a portable build, like the
+# committed configs.portable section — never compare a portable build
+# against the tuned simd_native headline) must stay within 30% of the
+# committed value, so a kernel regression cannot land silently. The 30%
+# slack absorbs quick-mode iteration noise, not real regressions.
 WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
     WITAG_PERF_NET_OUT=/tmp/witag_net_smoke.json \
     cargo run -q --release -p witag-bench --bin perf_gate > /dev/null
 python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"
 python3 -c "import json; r = json.load(open('/tmp/witag_net_smoke.json')); assert r['scale'], r"
+python3 - <<'EOF'
+import json
+cur = json.load(open('/tmp/witag_perf_smoke.json'))
+ref = json.load(open('BENCH_phy.json'))
+assert cur['build']['config'] == 'portable', cur['build']
+committed = ref['configs']['portable']['speedup_vs_seed_receive_chain']
+measured = cur['speedup_vs_seed']['receive_chain']
+assert measured >= 0.7 * committed, (
+    f"receive-chain speedup regressed: measured {measured:.2f}x vs "
+    f"committed portable {committed:.2f}x (floor {0.7 * committed:.2f}x)")
+print(f"perf gate: receive chain {measured:.2f}x vs committed {committed:.2f}x — ok")
+EOF
 
 # Trace smoke: a parallel sweep streamed to a witag-obs/1 JSONL trace,
 # then aggregated by `report`. Asserts the trace carries the schema

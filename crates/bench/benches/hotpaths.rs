@@ -13,9 +13,9 @@ use witag_phy::convolutional::{
     bits_to_llrs, encode_punctured, decode_punctured, encode_stream, viterbi_decode_stream,
 };
 use witag_phy::mcs::{CodeRate, Mcs, Modulation};
-use witag_phy::modulation::{demodulate_llr, modulate};
+use witag_phy::modulation::{demap_symbol_into, demodulate_llr, demodulate_llr_into, modulate};
 use witag_phy::ppdu::{transmit, PhyConfig};
-use witag_phy::receiver::{receive, receive_with_scratch, RxScratch};
+use witag_phy::receiver::{receive, receive_many, receive_with_scratch, RxScratch};
 use witag_sim::geom::Floorplan;
 use witag_sim::rng::Rng;
 
@@ -172,12 +172,153 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// The seed's textbook ACS (full predecessor table, NEG_INF skip) — the
+/// "flat" column the chunked/bit-sliced kernel is benched against. Same
+/// transcription as the golden reference in
+/// `crates/phy/tests/golden_equivalence.rs`.
+mod flat_viterbi {
+    use witag_phy::convolutional::CONSTRAINT;
+
+    pub const STATES: usize = 1 << (CONSTRAINT - 1);
+    const G0: u32 = 0o133;
+    const G1: u32 = 0o171;
+
+    fn parity(x: u32) -> u8 {
+        (x.count_ones() & 1) as u8
+    }
+
+    pub fn decode_stream(llrs: &[f64], n_bits: usize) -> Vec<u8> {
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut metrics = vec![NEG_INF; STATES];
+        metrics[0] = 0.0;
+        let mut next = vec![NEG_INF; STATES];
+        let mut decisions = vec![0u8; n_bits * STATES];
+        for step in 0..n_bits {
+            let l0 = llrs[2 * step];
+            let l1 = llrs[2 * step + 1];
+            next.fill(NEG_INF);
+            for (state, &m) in metrics.iter().enumerate() {
+                if m == NEG_INF {
+                    continue;
+                }
+                for input in 0..2u8 {
+                    let reg = ((state as u32) << 1) | input as u32;
+                    let (o0, o1) = (parity(reg & G0), parity(reg & G1));
+                    let bm =
+                        (if o0 == 0 { l0 } else { -l0 }) + (if o1 == 0 { l1 } else { -l1 });
+                    let ns = ((state << 1) | input as usize) & (STATES - 1);
+                    let cand = m + bm;
+                    if cand > next[ns] {
+                        next[ns] = cand;
+                        decisions[step * STATES + ns] = state as u8;
+                    }
+                }
+            }
+            core::mem::swap(&mut metrics, &mut next);
+        }
+        let mut state = metrics
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        let mut bits = vec![0u8; n_bits];
+        for step in (0..n_bits).rev() {
+            bits[step] = (state & 1) as u8;
+            state = decisions[step * STATES + state] as usize;
+        }
+        bits
+    }
+}
+
+fn bench_viterbi_sliced_vs_flat(c: &mut Criterion) {
+    // The chunked butterfly kernel against the seed's flat per-state
+    // scan, across stream lengths spanning one subframe to a whole
+    // A-MPDU worth of mother-rate bits.
+    let mut rng = Rng::seed_from_u64(5);
+    let mut g = c.benchmark_group("viterbi_kernel");
+    for n_bits in [1000usize, 4096, 16384] {
+        let data: Vec<u8> = (0..n_bits).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let llrs = bits_to_llrs(&encode_stream(&data)[..2 * n_bits]);
+        g.throughput(Throughput::Elements(n_bits as u64));
+        g.bench_function(&format!("sliced_{n_bits}_bits"), |b| {
+            b.iter(|| viterbi_decode_stream(std::hint::black_box(&llrs), n_bits));
+        });
+        g.bench_function(&format!("flat_{n_bits}_bits"), |b| {
+            b.iter(|| flat_viterbi::decode_stream(std::hint::black_box(&llrs), n_bits));
+        });
+    }
+    g.finish();
+}
+
+fn bench_receive_many(c: &mut Criterion) {
+    // Batched A-MPDU decode: per-call cost of `receive_many` at burst
+    // sizes 1 / 8 / 64, all through one scratch. Compare per-PPDU time
+    // (total / burst) against receive/scratch_1664B_mcs5 to read the
+    // amortisation of the hoisted permutation + pilot setup.
+    let config = PhyConfig::new(Mcs::ht(5));
+    let psdu = vec![0x5Au8; 1664];
+    let ppdu = transmit(&config, &psdu);
+    let mut scratch = RxScratch::new();
+    let mut g = c.benchmark_group("receive_many");
+    g.sample_size(10);
+    for burst in [1usize, 8, 64] {
+        let ppdus: Vec<_> = (0..burst).map(|_| ppdu.clone()).collect();
+        g.throughput(Throughput::Bytes((psdu.len() * burst) as u64));
+        g.bench_function(&format!("burst_{burst}_1664B_mcs5"), |b| {
+            b.iter(|| receive_many(std::hint::black_box(&ppdus), 1e-6, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_demap_chunked_vs_scalar(c: &mut Criterion) {
+    // The whole-symbol chunked demapper (per-subcarrier scale table, as
+    // the receive chain drives it) against the per-call scalar path, at
+    // the modulations of MCS 0 / 7 / 15.
+    let mut rng = Rng::seed_from_u64(6);
+    let noise_var = 1e-3;
+    let mut g = c.benchmark_group("demap_kernel");
+    for idx in [0usize, 7, 15] {
+        let m = Mcs::ht(idx).modulation;
+        let bpsc = m.bits_per_subcarrier();
+        let bits: Vec<u8> = (0..bpsc * 512).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let syms = modulate(&bits, m);
+        let scales: Vec<f64> = (0..syms.len())
+            .map(|_| noise_var * (0.5 + rng.next_u64() as f64 / u64::MAX as f64))
+            .collect();
+        let mut out = Vec::with_capacity(bits.len());
+        g.throughput(Throughput::Elements(syms.len() as u64));
+        g.bench_function(&format!("chunked_512_syms_mcs{idx}"), |b| {
+            b.iter(|| {
+                out.clear();
+                demap_symbol_into(
+                    std::hint::black_box(&syms),
+                    m,
+                    std::hint::black_box(&scales),
+                    &mut out,
+                );
+            });
+        });
+        g.bench_function(&format!("scalar_512_syms_mcs{idx}"), |b| {
+            b.iter(|| {
+                out.clear();
+                demodulate_llr_into(std::hint::black_box(&syms), m, noise_var, &mut out);
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_viterbi,
     bench_viterbi_stream,
+    bench_viterbi_sliced_vs_flat,
     bench_demapper,
+    bench_demap_chunked_vs_scalar,
     bench_receive_mcs_sweep,
+    bench_receive_many,
     bench_phy_chain,
     bench_ampdu,
     bench_ccmp,

@@ -134,16 +134,32 @@ pub fn depuncture_into(received: &[f64], rate: CodeRate, mother_len: usize, out:
         if received.len() < punctured_len(pattern, mother_len) { "short" } else { "long" }
     );
     out.clear();
-    out.reserve(mother_len);
-    // The assert above fixes `received.len()` to exactly the number of
-    // kept positions, so this cursor never runs past the slice.
-    let mut next = 0usize;
-    for i in 0..mother_len {
-        if pattern[i % pattern.len()] {
-            out.push(received[next]);
+    out.resize(mother_len, 0.0);
+    // Chunked by pattern period: each full period copies a fixed set of
+    // positions (a straight-line, branch-free body the compiler unrolls),
+    // leaving erased positions at the 0.0 the resize wrote. A scalar
+    // cursor loop handles the partial tail period.
+    let period = pattern.len();
+    let keep: usize = pattern.iter().filter(|&&k| k).count();
+    let full = mother_len / period;
+    {
+        let src = &received[..full * keep];
+        let dst = &mut out[..full * period];
+        for (d, s) in dst.chunks_exact_mut(period).zip(src.chunks_exact(keep)) {
+            let mut next = 0usize;
+            for (slot, &keep_it) in d.iter_mut().zip(pattern.iter()) {
+                if keep_it {
+                    *slot = s[next];
+                    next += 1;
+                }
+            }
+        }
+    }
+    let mut next = full * keep;
+    for i in full * period..mother_len {
+        if pattern[i % period] {
+            out[i] = received[next];
             next += 1;
-        } else {
-            out.push(0.0);
         }
     }
 }
@@ -162,19 +178,146 @@ pub fn coded_len(info_bits: usize, rate: CodeRate) -> usize {
 
 const NEG_INF: f64 = f64::NEG_INFINITY;
 
-/// Reusable Viterbi working memory: ping-pong path-metric buffers plus
-/// bit-packed survivor storage (one `u64` per trellis step — bit `s` says
-/// whether state `s` was reached from its high predecessor). Hold one per
-/// long-lived decoder (e.g. inside a `RxScratch`) so steady-state decoding
-/// allocates nothing.
-#[derive(Debug, Clone, Default)]
+/// Half the state count: the butterfly index range.
+const HALF: usize = STATES / 2;
+
+/// Sign of `l0` in the branch metric of the low branch into state `2j`:
+/// `B[j] = S0[j]*l0 + S1[j]*l1` reproduces `bm[OUTPUT_CODE[2j]]` exactly
+/// (multiplication by ±1.0 is exact in IEEE arithmetic).
+const BF_S0: [f64; HALF] = {
+    let mut s = [0.0; HALF];
+    let mut j = 0;
+    while j < HALF {
+        s[j] = if OUTPUT_CODE[2 * j] & 2 == 0 { 1.0 } else { -1.0 };
+        j += 1;
+    }
+    s
+};
+
+/// Sign of `l1` in the branch metric of the low branch into state `2j`.
+const BF_S1: [f64; HALF] = {
+    let mut s = [0.0; HALF];
+    let mut j = 0;
+    while j < HALF {
+        s[j] = if OUTPUT_CODE[2 * j] & 1 == 0 { 1.0 } else { -1.0 };
+        j += 1;
+    }
+    s
+};
+
+/// Reusable Viterbi working memory: ping-pong path-metric arrays plus
+/// survivor storage (one byte per state per trellis step — byte
+/// `64*step + s` says whether state `s` was reached from its high
+/// predecessor). Hold one per long-lived decoder (e.g. inside a
+/// `RxScratch`) so steady-state decoding allocates nothing beyond the
+/// survivor buffer's high-water mark.
+#[derive(Debug, Clone)]
 pub struct ViterbiScratch {
     /// Path metrics entering the current step.
-    metrics: Vec<f64>,
+    metrics: [f64; STATES],
     /// Path metrics being built for the next step.
-    next: Vec<f64>,
-    /// One survivor word per step.
-    survivors: Vec<u64>,
+    next: [f64; STATES],
+    /// One survivor byte per state per step.
+    survivors: Vec<u8>,
+}
+
+impl Default for ViterbiScratch {
+    fn default() -> Self {
+        ViterbiScratch { metrics: [NEG_INF; STATES], next: [NEG_INF; STATES], survivors: Vec::new() }
+    }
+}
+
+/// One trellis step of the butterfly add-compare-select, `LANES`
+/// butterflies at a time. Lane `j` handles the successor pair
+/// `(2j, 2j+1)`, whose predecessors are `j` (low) and `j + 32` (high):
+/// with `B = bm[OUTPUT_CODE[2j]]` the four candidates are
+/// `m_lo + B` / `m_hi − B` into `2j` and `m_lo − B` / `m_hi + B` into
+/// `2j+1`. This is bit-identical to the per-edge table formulation
+/// because `OUTPUT_CODE[r ^ 1] = OUTPUT_CODE[r | 64] = OUTPUT_CODE[r] ^ 3`
+/// (generators 133/171 both have taps on register bits 0 and 6) and
+/// `bm[c ^ 3] = −bm[c]` holds exactly (IEEE rounding is sign-symmetric:
+/// `fl(−a − b) = −fl(a + b)`). The compare is branchless — data-dependent
+/// `hi > lo` branches are unpredictable on noisy LLRs and dominated the
+/// flat kernel's runtime — and survivor decisions are stored as bytes so
+/// the whole lane loop autovectorises.
+// lint:no_alloc
+#[inline(always)]
+#[cfg(not(feature = "simd"))]
+fn butterfly_step<const LANES: usize>(l0: f64, l1: f64, cur: &[f64; STATES], nxt: &mut [f64; STATES], surv: &mut [u8]) {
+    let (m_lo, m_hi) = cur.split_at(HALF);
+    // Pass 1: branch metrics for all butterflies (a pure mul/add sweep the
+    // vectoriser handles without select pressure).
+    let mut b_arr = [0.0f64; HALF];
+    for (j, b) in b_arr.iter_mut().enumerate() {
+        *b = BF_S0[j] * l0 + BF_S1[j] * l1;
+    }
+    // Pass 2: add-compare-select, `LANES` butterflies at a time.
+    for c in 0..HALF / LANES {
+        let base = c * LANES;
+        for k in 0..LANES {
+            let j = base + k;
+            let b = b_arr[j];
+            let lo0 = m_lo[j] + b;
+            let hi0 = m_hi[j] - b;
+            let lo1 = m_lo[j] - b;
+            let hi1 = m_hi[j] + b;
+            // Strict '>' keeps the low predecessor on ties, matching the
+            // ascending-state scan of the reference implementation.
+            let t0 = hi0 > lo0;
+            let t1 = hi1 > lo1;
+            nxt[2 * j] = if t0 { hi0 } else { lo0 };
+            nxt[2 * j + 1] = if t1 { hi1 } else { lo1 };
+            surv[2 * j] = t0 as u8;
+            surv[2 * j + 1] = t1 as u8;
+        }
+    }
+}
+
+/// Structure-of-arrays variant of [`butterfly_step`] selected by the
+/// `simd` feature: every pass is a unit-stride map over all `HALF`
+/// butterflies (branch metrics, even successors, odd successors), with
+/// one final interleave pass writing the stride-2 successor layout. The
+/// per-lane arithmetic is the identical expression tree, so the output
+/// is bit-identical to the default chunked variant; `LANES` is unused
+/// (the vectoriser picks its own width for full-array sweeps).
+// lint:no_alloc
+#[inline(always)]
+#[cfg(feature = "simd")]
+fn butterfly_step<const LANES: usize>(l0: f64, l1: f64, cur: &[f64; STATES], nxt: &mut [f64; STATES], surv: &mut [u8]) {
+    let _ = LANES;
+    let (m_lo, m_hi) = cur.split_at(HALF);
+    let mut b_arr = [0.0f64; HALF];
+    for (j, b) in b_arr.iter_mut().enumerate() {
+        *b = BF_S0[j] * l0 + BF_S1[j] * l1;
+    }
+    let mut even = [0.0f64; HALF];
+    let mut odd = [0.0f64; HALF];
+    let mut s_even = [0u8; HALF];
+    let mut s_odd = [0u8; HALF];
+    for j in 0..HALF {
+        let b = b_arr[j];
+        let lo0 = m_lo[j] + b;
+        let hi0 = m_hi[j] - b;
+        // Strict '>' keeps the low predecessor on ties, matching the
+        // ascending-state scan of the reference implementation.
+        let t0 = hi0 > lo0;
+        even[j] = if t0 { hi0 } else { lo0 };
+        s_even[j] = t0 as u8;
+    }
+    for j in 0..HALF {
+        let b = b_arr[j];
+        let lo1 = m_lo[j] - b;
+        let hi1 = m_hi[j] + b;
+        let t1 = hi1 > lo1;
+        odd[j] = if t1 { hi1 } else { lo1 };
+        s_odd[j] = t1 as u8;
+    }
+    for j in 0..HALF {
+        nxt[2 * j] = even[j];
+        nxt[2 * j + 1] = odd[j];
+        surv[2 * j] = s_even[j];
+        surv[2 * j + 1] = s_odd[j];
+    }
 }
 
 /// Flat add-compare-select over all trellis steps. `terminated` selects
@@ -183,9 +326,9 @@ pub struct ViterbiScratch {
 /// Decoded bits (one per step, tail included) land in `out`.
 ///
 /// Bit-identical to the textbook per-edge formulation: branch metrics use
-/// the same additions in the same order, and ties keep the low
-/// predecessor / the last-scanned best end state, exactly as the original
-/// per-state scan did.
+/// the same additions in the same order (see [`butterfly_step`] for the
+/// proof sketch), and ties keep the low predecessor / the last-scanned
+/// best end state, exactly as the original per-state scan did.
 // lint:no_alloc
 fn viterbi_kernel(
     llrs: &[f64],
@@ -194,64 +337,43 @@ fn viterbi_kernel(
     scratch: &mut ViterbiScratch,
     out: &mut Vec<u8>,
 ) {
-    const HIGH: usize = STATES / 2;
-    scratch.metrics.clear();
-    scratch.metrics.resize(STATES, NEG_INF);
-    scratch.metrics[0] = 0.0; // encoder starts in state 0
-    scratch.next.clear();
-    scratch.next.resize(STATES, NEG_INF);
-    scratch.survivors.clear();
-    scratch.survivors.resize(n_steps, 0);
+    // Chunk width of the default butterfly kernel, tuned for narrow
+    // (SSE2-class) baseline targets. The `simd` feature swaps in the
+    // structure-of-arrays variant, which ignores the width and lets the
+    // vectoriser pick its own for full-array sweeps.
+    const LANES: usize = 4;
 
-    let mut metrics = core::mem::take(&mut scratch.metrics);
-    let mut next = core::mem::take(&mut scratch.next);
-    for (step, surv_word) in scratch.survivors.iter_mut().enumerate() {
+    scratch.metrics = [NEG_INF; STATES];
+    scratch.metrics[0] = 0.0; // encoder starts in state 0
+    scratch.survivors.clear();
+    scratch.survivors.resize(n_steps * STATES, 0);
+
+    let ViterbiScratch { metrics, next, survivors } = scratch;
+    let mut cur: &mut [f64; STATES] = metrics;
+    let mut nxt: &mut [f64; STATES] = next;
+    for (step, surv) in survivors.chunks_exact_mut(STATES).enumerate() {
         let l0 = llrs[2 * step];
         let l1 = llrs[2 * step + 1];
-        // The four possible branch metrics, indexed by (o0 << 1) | o1;
-        // `llr > 0` favours bit 0, so matching outputs are rewarded.
-        let bm = [l0 + l1, l0 - l1, -l0 + l1, -l0 - l1];
-        let mut surv = 0u64;
-        for ns in 0..STATES {
-            // Successor `ns` has exactly two predecessors: `ns >> 1`
-            // (register = ns) and `(ns >> 1) | HIGH` (register = ns | STATES).
-            let lo = metrics[ns >> 1] + bm[OUTPUT_CODE[ns] as usize];
-            let hi = metrics[(ns >> 1) | HIGH] + bm[OUTPUT_CODE[ns | STATES] as usize];
-            // Strict '>' keeps the low predecessor on ties, matching the
-            // ascending-state scan of the reference implementation.
-            if hi > lo {
-                next[ns] = hi;
-                surv |= 1u64 << ns;
-            } else {
-                next[ns] = lo;
-            }
-        }
-        *surv_word = surv;
-        core::mem::swap(&mut metrics, &mut next);
+        butterfly_step::<LANES>(l0, l1, cur, nxt, surv);
+        core::mem::swap(&mut cur, &mut nxt);
     }
-    scratch.metrics = metrics;
-    scratch.next = next;
 
     // Last-scanned best state, mirroring Iterator::max_by tie behaviour.
     let mut best = NEG_INF;
     let mut best_state = 0usize;
-    for (s, &m) in scratch.metrics.iter().enumerate() {
+    for (s, &m) in cur.iter().enumerate() {
         if m >= best {
             best = m;
             best_state = s;
         }
     }
-    let mut state = if terminated && scratch.metrics[0] > NEG_INF {
-        0usize
-    } else {
-        best_state
-    };
+    let mut state = if terminated && cur[0] > NEG_INF { 0usize } else { best_state };
 
     out.clear();
     out.resize(n_steps, 0);
     for step in (0..n_steps).rev() {
         out[step] = (state & 1) as u8; // input bit is the successor's LSB
-        let from_high = (scratch.survivors[step] >> state) & 1;
+        let from_high = survivors[(step << (CONSTRAINT - 1)) | state];
         state = (state >> 1) | ((from_high as usize) << (CONSTRAINT - 2));
     }
 }

@@ -124,6 +124,23 @@ impl InterleaverPerm {
             out.push(items[p]);
         }
     }
+
+    /// [`Self::deinterleave_into`] that *appends* instead of clearing: the
+    /// single-stream receive chain deinterleaves every symbol directly
+    /// onto the end of the whole-DATA-field code stream, skipping the
+    /// intermediate per-symbol buffer (and the stream-deparse copy, which
+    /// is the identity for one spatial stream). Values appended are
+    /// exactly those [`Self::deinterleave_into`] would produce.
+    // lint:no_alloc
+    pub fn deinterleave_append<T: Copy + Default>(&self, items: &[T], out: &mut Vec<T>) {
+        assert_eq!(items.len(), self.dims.n_cbps, "one full symbol at a time");
+        out.reserve(self.dims.n_cbps);
+        let start = out.len();
+        out.resize(start + self.dims.n_cbps, T::default());
+        for (o, &p) in out[start..].iter_mut().zip(self.perm.iter()) {
+            *o = items[p];
+        }
+    }
 }
 
 /// Interleave one symbol's worth of items (bits at TX).

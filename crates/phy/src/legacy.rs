@@ -186,48 +186,138 @@ pub fn legacy_receive(rx: &LegacyPpdu, noise_var: f64) -> Vec<u8> {
 /// allocation-free steady state). An experiment shares one scratch
 /// between the HT data chain and this legacy block-ACK chain; the
 /// interleaver-permutation cache keeps both dimension sets warm.
-// lint:no_alloc
 pub fn legacy_receive_with_scratch(
     rx: &LegacyPpdu,
     noise_var: f64,
     scratch: &mut RxScratch,
 ) -> Vec<u8> {
-    use crate::convolutional::{depuncture_into, viterbi_decode_stream_into};
-    use crate::modulation::demodulate_llr_into;
-    use crate::ppdu::bits_to_bytes;
-
+    let mut out = Vec::new();
     let layout = LegacyLayout::new();
-    let ndbps = rx.rate.ndbps();
-    let n_bpscs = rx.rate.modulation().bits_per_subcarrier();
-    let dims = InterleaverDims::legacy(n_bpscs);
-    let h = &rx.ltf.streams[0];
+    let dims = InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier());
+    let (perms, _pilots, mut bufs) = scratch.split();
+    RxScratch::perm(perms, dims);
+    legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, &mut out);
+    out
+}
 
-    let perm = RxScratch::perm(&mut scratch.perms, dims);
-    let coded_llrs = &mut scratch.coded_llrs;
-    let llrs_tx = &mut scratch.llrs_tx;
-    // First-call growth only; the placeholder `Vec::new` is lazy.
-    scratch.per_stream.resize_with(scratch.per_stream.len().max(1), Vec::new); // lint:allow(no_alloc)
-    let code_order = &mut scratch.per_stream[0];
-    coded_llrs.clear();
-    coded_llrs.reserve(rx.symbols.len() * dims.n_cbps);
+/// Decode a burst of legacy PPDUs (e.g. the block-ACK responses of a
+/// scheduling round) reusing one scratch, with the tone plan and
+/// interleaver-permutation setup hoisted out of the per-PPDU loop. Each
+/// element is bit-identical to a standalone
+/// [`legacy_receive_with_scratch`] call.
+pub fn legacy_receive_many_with_scratch(
+    ppdus: &[LegacyPpdu],
+    noise_var: f64,
+    scratch: &mut RxScratch,
+) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    legacy_receive_many_into(ppdus, noise_var, scratch, &mut out);
+    out
+}
+
+/// [`legacy_receive_many_with_scratch`] into a caller-provided output
+/// vector whose existing byte buffers are reused (allocation-free once
+/// warm).
+// lint:no_alloc
+pub fn legacy_receive_many_into(
+    ppdus: &[LegacyPpdu],
+    noise_var: f64,
+    scratch: &mut RxScratch,
+    out: &mut Vec<Vec<u8>>,
+) {
+    out.truncate(ppdus.len());
+    out.resize_with(ppdus.len(), Vec::new); // lint:allow(no_alloc)
+    let layout = LegacyLayout::new();
+    let (perms, _pilots, mut bufs) = scratch.split();
+    for rx in ppdus {
+        RxScratch::perm(perms, InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier()));
+    }
+    for (rx, dst) in ppdus.iter().zip(out.iter_mut()) {
+        legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, dst);
+    }
+}
+
+/// [`legacy_receive_many_with_scratch`] where every PPDU carries its own
+/// noise variance: the lockstep round driver decodes the block-ACK leg of
+/// many parallel sessions in one pass over one scratch. Each element is
+/// bit-identical to a standalone [`legacy_receive_with_scratch`] call
+/// with that pair.
+pub fn legacy_receive_many_mixed(
+    ppdus: &[(&LegacyPpdu, f64)],
+    scratch: &mut RxScratch,
+) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    out.resize_with(ppdus.len(), Vec::new);
+    let layout = LegacyLayout::new();
+    let (perms, _pilots, mut bufs) = scratch.split();
+    for (rx, _) in ppdus {
+        RxScratch::perm(perms, InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier()));
+    }
+    for (&(rx, noise_var), dst) in ppdus.iter().zip(out.iter_mut()) {
+        legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, dst);
+    }
+    out
+}
+
+/// Shared implementation behind the singular and batched legacy receive
+/// paths: the caller provides the tone plan and a pre-warmed permutation
+/// cache.
+// lint:no_alloc
+fn legacy_decode_core(
+    rx: &LegacyPpdu,
+    noise_var: f64,
+    layout: &LegacyLayout,
+    perms: &[crate::interleaver::InterleaverPerm],
+    bufs: &mut crate::receiver::RxBufs<'_>,
+    out: &mut Vec<u8>,
+) {
+    use crate::convolutional::{depuncture_into, viterbi_decode_stream_into};
+    use crate::modulation::{axis_scale, demap_symbol_into};
+    use crate::ppdu::bits_to_bytes_into;
+
+    let ndbps = rx.rate.ndbps();
+    let modulation = rx.rate.modulation();
+    let dims = InterleaverDims::legacy(modulation.bits_per_subcarrier());
+    let h = &rx.ltf.streams[0];
+    let data_pos = layout.data_positions();
+    let n_data = data_pos.len();
+
+    // The cache was warmed by the caller; `position` cannot miss.
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)];
+
+    // Per-PPDU hoisted channel gather and demapper scales (the estimate
+    // is static across the PPDU's symbols — same arithmetic as the old
+    // per-symbol loop, computed once).
+    bufs.h_data.clear();
+    bufs.h_data.reserve(n_data);
+    bufs.demap_scales.clear();
+    bufs.demap_scales.reserve(n_data);
+    for &pos in data_pos {
+        let hv = h[pos];
+        let eff_noise = noise_var / hv.norm_sqr().max(1e-9);
+        bufs.h_data.push(hv);
+        bufs.demap_scales.push(axis_scale(modulation, eff_noise));
+    }
+
+    bufs.coded_llrs.clear();
+    bufs.coded_llrs.reserve(rx.symbols.len() * dims.n_cbps);
     for sym in &rx.symbols {
         let raw = &sym.streams[0];
-        llrs_tx.clear();
-        llrs_tx.reserve(dims.n_cbps);
-        for &pos in layout.data_positions() {
-            let eq = raw[pos] / h[pos];
-            let eff_noise = noise_var / h[pos].norm_sqr().max(1e-9);
-            demodulate_llr_into(&[eq], rx.rate.modulation(), eff_noise, llrs_tx);
+        bufs.eq.clear();
+        bufs.eq.reserve(n_data);
+        for (i, &pos) in data_pos.iter().enumerate() {
+            bufs.eq.push(raw[pos] / bufs.h_data[i]);
         }
-        perm.deinterleave_into(llrs_tx, code_order);
-        coded_llrs.extend_from_slice(code_order);
+        bufs.llrs_tx.clear();
+        demap_symbol_into(bufs.eq, modulation, bufs.demap_scales, bufs.llrs_tx);
+        perm.deinterleave_append(bufs.llrs_tx, bufs.coded_llrs);
     }
 
     let n_total = rx.symbols.len() * ndbps;
-    depuncture_into(coded_llrs, rx.rate.code_rate(), 2 * n_total, &mut scratch.soft);
-    viterbi_decode_stream_into(&scratch.soft, n_total, &mut scratch.viterbi, &mut scratch.bits);
-    Scrambler::new(SCRAMBLER_SEED).apply(&mut scratch.bits);
-    bits_to_bytes(&scratch.bits[16..16 + 8 * rx.psdu_len])
+    depuncture_into(bufs.coded_llrs, rx.rate.code_rate(), 2 * n_total, bufs.soft);
+    viterbi_decode_stream_into(bufs.soft, n_total, bufs.viterbi, bufs.bits);
+    Scrambler::new(SCRAMBLER_SEED).apply(bufs.bits);
+    bits_to_bytes_into(&bufs.bits[16..16 + 8 * rx.psdu_len], out);
 }
 
 #[cfg(test)]

@@ -103,6 +103,104 @@ fn axis_llrs(y: f64, k: usize, sigma2: f64, out: &mut Vec<f64>) {
     }
 }
 
+/// Max-log LLRs for one axis with a compile-time bit count and a
+/// precomputed output scale (see [`axis_scale`]).
+///
+/// Bit-identical to [`demodulate_llr_into`]'s per-call path: the distance
+/// expression `(y − level)²`, the level grid and the strict `<` minimum
+/// updates are the same floating-point operations — only the per-bit
+/// minimum bookkeeping is restructured into fully unrolled, branchless
+/// form (the minimum over a fixed set of distances is
+/// association-independent, so the value is exact). `out[..K]` receives
+/// the K MSB-first bit LLRs.
+// lint:no_alloc
+#[inline(always)]
+pub fn axis_llrs_fixed<const K: usize>(y: f64, scale: f64, out: &mut [f64]) {
+    let n_levels = 1usize << K;
+    let mut min0 = [f64::INFINITY; K];
+    let mut min1 = [f64::INFINITY; K];
+    for index in 0..n_levels {
+        let level = (2.0 * index as f64) - (n_levels as f64 - 1.0);
+        let d2 = (y - level) * (y - level);
+        let g = (index ^ (index >> 1)) as u32; // binary -> Gray
+        for bit in 0..K {
+            let mask = 1u32 << (K - 1 - bit);
+            // `g & mask` is a constant once the level loop unrolls, so each
+            // (level, bit) pair folds to one branchless min update.
+            if g & mask == 0 {
+                min0[bit] = if d2 < min0[bit] { d2 } else { min0[bit] };
+            } else {
+                min1[bit] = if d2 < min1[bit] { d2 } else { min1[bit] };
+            }
+        }
+    }
+    for bit in 0..K {
+        out[bit] = (min1[bit] - min0[bit]) * scale;
+    }
+}
+
+/// The LLR output scale [`demodulate_llr_into`] applies for `noise_var`:
+/// `1 / (2·σ²_axis)` in unnormalised axis coordinates, with the same
+/// floating-point operation sequence, so per-subcarrier scales can be
+/// hoisted out of per-symbol loops without changing any bit.
+pub fn axis_scale(m: Modulation, noise_var: f64) -> f64 {
+    let k = k_mod(m);
+    let sigma2_axis = (noise_var / 2.0) / (k * k);
+    let sigma2 = match m {
+        Modulation::Bpsk => sigma2_axis * 2.0,
+        _ => sigma2_axis,
+    };
+    1.0 / (2.0 * sigma2.max(1e-12))
+}
+
+/// Chunked soft demap of one symbol's equalised subcarriers with
+/// per-subcarrier precomputed scales (`scales[i]` = [`axis_scale`] of
+/// subcarrier `i`'s effective noise). Appends
+/// `eqs.len() × bits_per_subcarrier` LLRs to `out` in the same order as
+/// [`demodulate_llr_into`] — and bit-identical to it (the dispatch on the
+/// modulation is hoisted out of the subcarrier loop and the inner kernel
+/// is [`axis_llrs_fixed`]). This is the receive chain's demapper.
+// lint:no_alloc
+pub fn demap_symbol_into(eqs: &[Complex64], m: Modulation, scales: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(eqs.len(), scales.len(), "one scale per subcarrier");
+    let k = k_mod(m);
+    let start = out.len();
+    let bpsc = m.bits_per_subcarrier();
+    out.resize(start + eqs.len() * bpsc, 0.0);
+    let dst = &mut out[start..];
+    match m {
+        Modulation::Bpsk => {
+            for ((o, &s), &sc) in dst.chunks_exact_mut(1).zip(eqs).zip(scales) {
+                axis_llrs_fixed::<1>(s.re / k, sc, o);
+            }
+        }
+        Modulation::Qpsk => {
+            for ((o, &s), &sc) in dst.chunks_exact_mut(2).zip(eqs).zip(scales) {
+                axis_llrs_fixed::<1>(s.re / k, sc, &mut o[..1]);
+                axis_llrs_fixed::<1>(s.im / k, sc, &mut o[1..]);
+            }
+        }
+        Modulation::Qam16 => {
+            for ((o, &s), &sc) in dst.chunks_exact_mut(4).zip(eqs).zip(scales) {
+                axis_llrs_fixed::<2>(s.re / k, sc, &mut o[..2]);
+                axis_llrs_fixed::<2>(s.im / k, sc, &mut o[2..]);
+            }
+        }
+        Modulation::Qam64 => {
+            for ((o, &s), &sc) in dst.chunks_exact_mut(6).zip(eqs).zip(scales) {
+                axis_llrs_fixed::<3>(s.re / k, sc, &mut o[..3]);
+                axis_llrs_fixed::<3>(s.im / k, sc, &mut o[3..]);
+            }
+        }
+        Modulation::Qam256 => {
+            for ((o, &s), &sc) in dst.chunks_exact_mut(8).zip(eqs).zip(scales) {
+                axis_llrs_fixed::<4>(s.re / k, sc, &mut o[..4]);
+                axis_llrs_fixed::<4>(s.im / k, sc, &mut o[4..]);
+            }
+        }
+    }
+}
+
 /// Soft-demap equalised symbols into per-bit LLRs.
 ///
 /// `noise_var` is the post-equalisation complex noise variance (E|n|²)

@@ -190,15 +190,29 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 
 /// Pack LSB-first bits back into bytes (length must be a multiple of 8).
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    bits_to_bytes_into(bits, &mut out);
+    out
+}
+
+/// [`bits_to_bytes`] into a caller-provided buffer (cleared first), so
+/// the batched receive path can reuse output allocations across a burst.
+///
+/// # Panics
+/// Panics if `bits.len()` is not a multiple of 8.
+// lint:no_alloc
+pub fn bits_to_bytes_into(bits: &[u8], out: &mut Vec<u8>) {
     assert!(bits.len().is_multiple_of(8), "bit count must be a whole number of bytes");
-    bits.chunks(8)
-        .map(|chunk| {
+    out.clear();
+    out.reserve(bits.len() / 8);
+    for chunk in bits.chunks_exact(8) {
+        out.push(
             chunk
                 .iter()
                 .enumerate()
-                .fold(0u8, |acc, (i, &b)| acc | (b << i))
-        })
-        .collect()
+                .fold(0u8, |acc, (i, &b)| acc | (b << i)),
+        );
+    }
 }
 
 /// Split one symbol's coded bits round-robin across spatial streams in

@@ -20,8 +20,8 @@
 use crate::complex::Complex64;
 use crate::convolutional::{depuncture_into, viterbi_decode_stream_into, ViterbiScratch};
 use crate::interleaver::{InterleaverDims, InterleaverPerm};
-use crate::modulation::demodulate_llr_into;
-use crate::ppdu::{bits_to_bytes, deparse_streams_into, pilot_values, OfdmSymbol, Ppdu};
+use crate::modulation::{axis_scale, demap_symbol_into};
+use crate::ppdu::{bits_to_bytes_into, deparse_streams_into, pilot_values, OfdmSymbol, Ppdu};
 use crate::scrambler::Scrambler;
 
 /// Per-stream, per-subcarrier channel estimate (CSI), borrowing the
@@ -92,6 +92,16 @@ pub struct RxScratch {
     pub(crate) bits: Vec<u8>,
     /// Viterbi path-metric and survivor storage.
     pub(crate) viterbi: ViterbiScratch,
+    /// One symbol's equalised data subcarriers (SoA form for the chunked
+    /// demapper).
+    pub(crate) eq: Vec<Complex64>,
+    /// Channel coefficients gathered at the data positions, per stream —
+    /// hoisted out of the per-symbol loop (the estimate is static across a
+    /// PPDU by construction).
+    pub(crate) h_data: Vec<Complex64>,
+    /// Per-subcarrier demapper output scales, per stream — likewise
+    /// hoisted (they depend only on the channel estimate and noise floor).
+    pub(crate) demap_scales: Vec<f64>,
 }
 
 impl RxScratch {
@@ -198,40 +208,185 @@ pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
 /// warm, the chain performs no intermediate allocation (only the returned
 /// `DecodedPsdu`'s two output vectors are freshly allocated). Results are
 /// bit-identical to [`receive`].
-// lint:no_alloc
 pub fn receive_with_scratch(rx: &Ppdu, noise_var: f64, scratch: &mut RxScratch) -> DecodedPsdu {
+    let mut out = DecodedPsdu { bytes: Vec::new(), symbol_quality: Vec::new() };
+    let n_bpscs = rx.config.mcs.modulation.bits_per_subcarrier();
+    let dims = InterleaverDims::ht(rx.config.bandwidth, n_bpscs);
+    let n_pilots = rx.config.layout().pilot_positions().len();
+    let (perms, pilots, mut bufs) = scratch.split();
+    RxScratch::perm(perms, dims);
+    RxScratch::pilot_pattern(pilots, n_pilots);
+    decode_core(rx, noise_var, perms, pilots, &mut bufs, &mut out);
+    out
+}
+
+/// Decode a burst of PPDUs (e.g. the per-subframe transmissions of one
+/// A-MPDU exchange) reusing one scratch, with the interleaver-permutation
+/// and pilot-pattern setup hoisted out of the per-subframe loop. Each
+/// element of the result is bit-identical to what a standalone
+/// [`receive_with_scratch`] call on that PPDU would return.
+pub fn receive_many(ppdus: &[Ppdu], noise_var: f64, scratch: &mut RxScratch) -> Vec<DecodedPsdu> {
+    let mut out = Vec::new();
+    receive_many_into(ppdus, noise_var, scratch, &mut out);
+    out
+}
+
+/// [`receive_many`] into a caller-provided output vector whose existing
+/// `DecodedPsdu` allocations are reused: a steady-state burst decode
+/// performs no allocation at all.
+// lint:no_alloc
+pub fn receive_many_into(
+    ppdus: &[Ppdu],
+    noise_var: f64,
+    scratch: &mut RxScratch,
+    out: &mut Vec<DecodedPsdu>,
+) {
+    out.truncate(ppdus.len());
+    out.resize_with(ppdus.len(), || DecodedPsdu {
+        bytes: Vec::new(),          // lint:allow(no_alloc)
+        symbol_quality: Vec::new(), // lint:allow(no_alloc)
+    });
+    let (perms, pilots, mut bufs) = scratch.split();
+    // Warm the permutation / pilot caches for every distinct configuration
+    // in the burst first, so the decode loop below only takes immutable
+    // lookups (and the hot per-subframe path never touches cache growth).
+    for rx in ppdus {
+        let n_bpscs = rx.config.mcs.modulation.bits_per_subcarrier();
+        RxScratch::perm(perms, InterleaverDims::ht(rx.config.bandwidth, n_bpscs));
+        RxScratch::pilot_pattern(pilots, rx.config.layout().pilot_positions().len());
+    }
+    for (rx, dst) in ppdus.iter().zip(out.iter_mut()) {
+        decode_core(rx, noise_var, perms, pilots, &mut bufs, dst);
+    }
+}
+
+/// [`receive_many`] where every PPDU carries its own noise variance: the
+/// lockstep round driver decodes one subframe from each of many parallel
+/// sessions (whose links may differ) in a single pass over one scratch.
+/// Each element is bit-identical to a standalone
+/// [`receive_with_scratch`] call with that pair.
+pub fn receive_many_mixed(ppdus: &[(&Ppdu, f64)], scratch: &mut RxScratch) -> Vec<DecodedPsdu> {
+    let mut out = Vec::new();
+    out.resize_with(ppdus.len(), || DecodedPsdu {
+        bytes: Vec::new(),
+        symbol_quality: Vec::new(),
+    });
+    let (perms, pilots, mut bufs) = scratch.split();
+    for (rx, _) in ppdus {
+        let n_bpscs = rx.config.mcs.modulation.bits_per_subcarrier();
+        RxScratch::perm(perms, InterleaverDims::ht(rx.config.bandwidth, n_bpscs));
+        RxScratch::pilot_pattern(pilots, rx.config.layout().pilot_positions().len());
+    }
+    for (&(rx, noise_var), dst) in ppdus.iter().zip(out.iter_mut()) {
+        decode_core(rx, noise_var, perms, pilots, &mut bufs, dst);
+    }
+    out
+}
+
+/// The working buffers of [`RxScratch`] minus the perm/pilot caches —
+/// split off so a burst loop can hold the caches immutably while the
+/// per-PPDU buffers stay mutable.
+pub(crate) struct RxBufs<'a> {
+    pub(crate) llrs_tx: &'a mut Vec<f64>,
+    pub(crate) per_stream: &'a mut Vec<Vec<f64>>,
+    pub(crate) coded_llrs: &'a mut Vec<f64>,
+    pub(crate) soft: &'a mut Vec<f64>,
+    pub(crate) bits: &'a mut Vec<u8>,
+    pub(crate) viterbi: &'a mut ViterbiScratch,
+    pub(crate) eq: &'a mut Vec<Complex64>,
+    pub(crate) h_data: &'a mut Vec<Complex64>,
+    pub(crate) demap_scales: &'a mut Vec<f64>,
+}
+
+impl RxScratch {
+    /// Split-borrow the scratch into its cache vectors and working
+    /// buffers.
+    pub(crate) fn split(&mut self) -> (&mut Vec<InterleaverPerm>, &mut Vec<Vec<Complex64>>, RxBufs<'_>) {
+        let RxScratch {
+            perms,
+            pilots,
+            llrs_tx,
+            per_stream,
+            coded_llrs,
+            soft,
+            bits,
+            viterbi,
+            eq,
+            h_data,
+            demap_scales,
+        } = self;
+        (
+            perms,
+            pilots,
+            RxBufs { llrs_tx, per_stream, coded_llrs, soft, bits, viterbi, eq, h_data, demap_scales },
+        )
+    }
+}
+
+/// Decode one PPDU into `dst` using pre-warmed perm/pilot caches. This is
+/// the single shared implementation behind [`receive_with_scratch`] and
+/// [`receive_many_into`].
+// lint:no_alloc
+pub(crate) fn decode_core(
+    rx: &Ppdu,
+    noise_var: f64,
+    perms: &[InterleaverPerm],
+    pilot_cache: &[Vec<Complex64>],
+    bufs: &mut RxBufs<'_>,
+    dst: &mut DecodedPsdu,
+) {
     let config = &rx.config;
     let layout = config.layout();
     let nss = config.mcs.spatial_streams;
-    let n_bpscs = config.mcs.modulation.bits_per_subcarrier();
+    let modulation = config.mcs.modulation;
+    let n_bpscs = modulation.bits_per_subcarrier();
     let dims = InterleaverDims::ht(config.bandwidth, n_bpscs);
     let est = ChannelEstimate::from_ltf(&rx.ltf);
+    let data_pos = layout.data_positions();
+    let n_data = data_pos.len();
 
-    let RxScratch {
-        perms,
-        pilots,
-        llrs_tx,
-        per_stream,
-        coded_llrs,
-        soft,
-        bits,
-        viterbi,
-    } = scratch;
-    let perm = RxScratch::perm(perms, dims);
-    let pilots = RxScratch::pilot_pattern(pilots, layout.pilot_positions().len());
+    // The caches were warmed by the caller; `position` cannot miss.
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)];
+    let n_pilots = layout.pilot_positions().len();
+    let pilots: &[Complex64] =
+        &pilot_cache[pilot_cache.iter().position(|p| p.len() == n_pilots).unwrap_or(0)];
+
     // Grows only on the first call (or a wider nss): steady state is a
     // no-op and the placeholder `Vec::new` never allocates until filled.
-    per_stream.resize_with(per_stream.len().max(nss), Vec::new); // lint:allow(no_alloc)
+    bufs.per_stream.resize_with(bufs.per_stream.len().max(nss), Vec::new); // lint:allow(no_alloc)
 
-    coded_llrs.clear();
-    coded_llrs.reserve(rx.symbols.len() * config.ncbps());
-    let mut symbol_quality = Vec::with_capacity(rx.symbols.len());
+    // Per-PPDU hoisted tables: channel coefficients at the data positions
+    // and demapper scales. Both are constant across a PPDU's symbols (the
+    // receiver estimates once, from the LTF), so computing them here —
+    // not per symbol per subcarrier — changes no arithmetic, only how
+    // often it runs.
+    bufs.h_data.clear();
+    bufs.h_data.reserve(nss * n_data);
+    bufs.demap_scales.clear();
+    bufs.demap_scales.reserve(nss * n_data);
+    for ss in 0..nss {
+        let h = &est.h[ss];
+        for &pos in data_pos {
+            let hv = h[pos];
+            // ZF noise enhancement: variance grows as 1/|h|².
+            let eff_noise = noise_var / hv.norm_sqr().max(1e-9);
+            bufs.h_data.push(hv);
+            bufs.demap_scales.push(axis_scale(modulation, eff_noise));
+        }
+    }
+
+    bufs.coded_llrs.clear();
+    bufs.coded_llrs.reserve(rx.symbols.len() * config.ncbps());
+    dst.symbol_quality.clear();
+    dst.symbol_quality.reserve(rx.symbols.len());
 
     for sym in &rx.symbols {
         let mut qual_acc = 0.0;
-        for (ss, code_order) in per_stream.iter_mut().enumerate().take(nss) {
+        for ss in 0..nss {
             let h = &est.h[ss];
             let raw = &sym.streams[ss];
+            let h_d = &bufs.h_data[ss * n_data..(ss + 1) * n_data];
+            let scales = &bufs.demap_scales[ss * n_data..(ss + 1) * n_data];
 
             // Common-phase-error estimate from pilots.
             let mut acc = Complex64::ZERO;
@@ -245,38 +400,44 @@ pub fn receive_with_scratch(rx: &Ppdu, noise_var: f64, scratch: &mut RxScratch) 
                 Complex64::ONE
             };
 
-            // Zero-forcing equalisation with per-subcarrier noise scaling.
-            llrs_tx.clear();
-            llrs_tx.reserve(layout.data_positions().len() * n_bpscs);
-            for &pos in layout.data_positions() {
-                let eq = raw[pos] * cpe / h[pos];
-                // ZF noise enhancement: variance grows as 1/|h|².
-                let eff_noise = noise_var / h[pos].norm_sqr().max(1e-9);
-                demodulate_llr_into(&[eq], config.mcs.modulation, eff_noise, llrs_tx);
+            // Zero-forcing equalisation into the SoA buffer (same operation
+            // order per subcarrier as the historical fused loop), then the
+            // chunked demapper over the whole symbol at once.
+            bufs.eq.clear();
+            bufs.eq.reserve(n_data);
+            for (i, &pos) in data_pos.iter().enumerate() {
+                bufs.eq.push(raw[pos] * cpe / h_d[i]);
             }
+            bufs.llrs_tx.clear();
+            demap_symbol_into(bufs.eq, modulation, scales, bufs.llrs_tx);
             qual_acc +=
-                llrs_tx.iter().map(|l| l.abs()).sum::<f64>() / llrs_tx.len() as f64;
-            perm.deinterleave_into(llrs_tx, code_order);
+                bufs.llrs_tx.iter().map(|l| l.abs()).sum::<f64>() / bufs.llrs_tx.len() as f64;
+            if nss == 1 {
+                // Single stream: stream deparse is the identity, so
+                // deinterleave straight onto the code stream.
+                perm.deinterleave_append(bufs.llrs_tx, bufs.coded_llrs);
+            } else {
+                perm.deinterleave_into(bufs.llrs_tx, &mut bufs.per_stream[ss]);
+            }
         }
-        symbol_quality.push(qual_acc / nss as f64);
-        deparse_streams_into(&per_stream[..nss], n_bpscs, coded_llrs);
+        dst.symbol_quality.push(qual_acc / nss as f64);
+        if nss > 1 {
+            deparse_streams_into(&bufs.per_stream[..nss], n_bpscs, bufs.coded_llrs);
+        }
     }
 
     // Decode the whole DATA field as one stream.
     let n_sym = rx.symbols.len();
     let n_total = n_sym * config.ndbps();
     let mother_len = 2 * n_total;
-    depuncture_into(coded_llrs, config.mcs.code_rate, mother_len, soft);
-    viterbi_decode_stream_into(soft, n_total, viterbi, bits);
+    depuncture_into(bufs.coded_llrs, config.mcs.code_rate, mother_len, bufs.soft);
+    viterbi_decode_stream_into(bufs.soft, n_total, bufs.viterbi, bufs.bits);
 
     // Descramble and extract the PSDU.
     let mut scrambler = Scrambler::new(config.scrambler_seed);
-    scrambler.apply(bits);
-    let psdu_bits = &bits[16..16 + 8 * rx.psdu_len];
-    DecodedPsdu {
-        bytes: bits_to_bytes(psdu_bits),
-        symbol_quality,
-    }
+    scrambler.apply(bufs.bits);
+    let psdu_bits = &bufs.bits[16..16 + 8 * rx.psdu_len];
+    bits_to_bytes_into(psdu_bits, &mut dst.bytes);
 }
 
 #[cfg(test)]

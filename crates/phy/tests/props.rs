@@ -156,6 +156,50 @@ proptest! {
     }
 
     #[test]
+    fn receive_many_is_bit_identical_to_per_ppdu_loop(
+        seed in any::<u64>(),
+        mcs_list in proptest::collection::vec(0usize..16, 1..5),
+        corrupt_mask in any::<u8>(),
+    ) {
+        // The batched burst decode must return exactly what a loop of
+        // standalone receives returns — any MCS mix, clean or corrupted
+        // subframes (a mid-frame phase flip is the tag's own corruption
+        // mechanism and reliably kills the FCS).
+        use witag_phy::receiver::{receive_many, receive_with_scratch, RxScratch};
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let noise_var: f64 = 1e-3;
+        let noise_std = noise_var.sqrt();
+        let burst: Vec<_> = mcs_list.iter().enumerate().map(|(i, &idx)| {
+            let mut psdu = vec![0u8; 64];
+            rng.fill_bytes(&mut psdu);
+            let mut ppdu = transmit(&PhyConfig::new(Mcs::ht(idx)), &psdu);
+            let n_sym = ppdu.symbols.len();
+            let flip = corrupt_mask & (1 << (i % 8)) != 0;
+            for (s, sym) in ppdu.symbols.iter_mut().enumerate() {
+                let flipped = flip && s >= n_sym / 2;
+                for stream in sym.streams.iter_mut() {
+                    for pt in stream.iter_mut() {
+                        let mut v = *pt;
+                        if flipped {
+                            v = Complex64::ZERO - v;
+                        }
+                        let re = rng.range_f64(-1.0, 1.0) * noise_std;
+                        let im = rng.range_f64(-1.0, 1.0) * noise_std;
+                        *pt = v + c64(re, im);
+                    }
+                }
+            }
+            ppdu
+        }).collect();
+        let batched = receive_many(&burst, noise_var, &mut RxScratch::new());
+        for (i, (rx, b)) in burst.iter().zip(batched.iter()).enumerate() {
+            let solo = receive_with_scratch(rx, noise_var, &mut RxScratch::new());
+            prop_assert_eq!(&solo.bytes, &b.bytes, "subframe {} bytes diverged", i);
+            prop_assert_eq!(&solo.symbol_quality, &b.symbol_quality, "subframe {} quality diverged", i);
+        }
+    }
+
+    #[test]
     fn phase_flip_never_helps_llr_quality(seed in any::<u64>()) {
         // Flipping the channel can only shrink or scramble LLRs vs the
         // matched channel, never improve the mean |LLR| by a large factor.

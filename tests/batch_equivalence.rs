@@ -1,0 +1,121 @@
+//! Equivalence contract of the lockstep batch driver
+//! (`Experiment::run_batch_obs`): running N independent experiments in
+//! lockstep — with the forward A-MPDU decodes of all shards batched
+//! through `receive_many_mixed` and the block-ACK legs batched through
+//! `legacy_receive_many_mixed`, all over one shared scratch — must be
+//! **bit-identical**, per shard, to running each experiment's rounds
+//! serially with `run_obs`: same statistics, same event stream, same
+//! fault trajectories. This is the contract that lets the parallel
+//! runner's single-worker path batch across shards.
+
+use witag::experiment::{Experiment, ExperimentConfig, ExperimentStats};
+use witag_faults::FaultPlan;
+use witag_obs::{BufferRecorder, Recorder};
+
+fn quiet_cfg(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig5(1.0, seed);
+    cfg.link.interference_rate_hz = 0.0;
+    cfg
+}
+
+fn fingerprint(s: &ExperimentStats) -> (usize, usize, usize, usize, u64) {
+    (
+        s.rounds,
+        s.errors.total,
+        s.missed_triggers,
+        s.lost_block_acks,
+        s.elapsed.as_nanos(),
+    )
+}
+
+/// Serialise a buffered event stream exactly as the JSONL writer would,
+/// so "identical event stream" means bytes, not structural equality.
+fn trace_bytes(buf: &BufferRecorder) -> String {
+    let mut out = String::new();
+    for e in buf.events() {
+        e.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Build the same shard set twice (identical seeds / trace bases / fault
+/// plans) so one copy can run serially and the other in lockstep.
+fn build_shards(
+    seeds: &[u64],
+    plan: Option<&FaultPlan>,
+) -> Vec<Experiment> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let mut exp = Experiment::new(quiet_cfg(seed)).unwrap();
+            exp.set_trace_base((i * 1000) as u64);
+            if let Some(p) = plan {
+                let mut shard_plan = p.clone();
+                shard_plan.seed = shard_plan.seed.wrapping_add(i as u64);
+                exp.attach_faults(shard_plan);
+            }
+            exp
+        })
+        .collect()
+}
+
+fn check_batch_matches_serial(seeds: &[u64], rounds: &[usize], plan: Option<&FaultPlan>) {
+    // Serial reference: each experiment runs its rounds on its own.
+    let mut serial_stats = Vec::new();
+    let mut serial_traces = Vec::new();
+    for (exp, &r) in build_shards(seeds, plan).iter_mut().zip(rounds) {
+        let mut buf = BufferRecorder::new();
+        serial_stats.push(exp.run_obs(r, &mut buf));
+        serial_traces.push(trace_bytes(&buf));
+    }
+
+    // Lockstep batched run over a fresh but identically-seeded shard set.
+    let mut shards = build_shards(seeds, plan);
+    let mut bufs: Vec<BufferRecorder> = (0..shards.len()).map(|_| BufferRecorder::new()).collect();
+    let mut recs: Vec<&mut dyn Recorder> = bufs.iter_mut().map(|b| b as &mut dyn Recorder).collect();
+    let batch_stats = Experiment::run_batch_obs(&mut shards, rounds, &mut recs);
+
+    for (i, (s, b)) in serial_stats.iter().zip(batch_stats.iter()).enumerate() {
+        assert_eq!(
+            fingerprint(s),
+            fingerprint(b),
+            "shard {i}: batched stats must be bit-identical to serial"
+        );
+    }
+    for (i, (trace, buf)) in serial_traces.iter().zip(bufs.iter()).enumerate() {
+        assert_eq!(
+            trace,
+            &trace_bytes(buf),
+            "shard {i}: batched event stream must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn batched_lockstep_matches_serial_per_shard() {
+    check_batch_matches_serial(&[11, 22, 33], &[8, 8, 8], None);
+}
+
+#[test]
+fn batched_lockstep_matches_serial_with_ragged_round_counts() {
+    // Shards retire at different rounds; the lockstep driver must keep
+    // the survivors bit-exact after others finish.
+    check_batch_matches_serial(&[5, 6, 7, 8], &[2, 9, 1, 5], None);
+}
+
+#[test]
+fn batched_lockstep_matches_serial_under_faults() {
+    // Fault trajectories thread through all three phases (verdict in
+    // prepare, BA-loss gating in mid, readout corruption in finish) —
+    // the injector's single RNG stream must see draws in the same order.
+    let plan = FaultPlan::hostile(99);
+    check_batch_matches_serial(&[44, 55], &[12, 12], Some(&plan));
+}
+
+#[test]
+fn batched_lockstep_handles_empty_and_single_shard() {
+    check_batch_matches_serial(&[], &[], None);
+    check_batch_matches_serial(&[77], &[5], None);
+}
