@@ -11,11 +11,31 @@ cargo clippy --all-targets -- -D warnings
 # live partly in doc comments, so doc warnings are treated as errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-# Static-assurance gate: witag-lint walks every workspace source file and
-# fails (nonzero exit) on any determinism / panic-freedom / no_alloc /
-# hygiene finding. The JSON artifact is validated like the perf report.
-cargo run -q --release -p witag-lint -- --json LINT_report.json
-python3 -c "import json; r = json.load(open('LINT_report.json')); assert r['findings'] == [], r['findings']"
+# Static-assurance gate: witag-lint walks every workspace source file,
+# builds the whole-workspace call graph, and fails (nonzero exit) on any
+# per-file finding (determinism / panic-freedom / no_alloc / hygiene) or
+# interprocedural finding (transitive no_alloc, panic reachability,
+# determinism taint, obs-schema and simd cfg parity). The committed
+# witag-lint/2 JSON artifact must match what the tree produces — a stale
+# LINT_report.json fails the drift check below.
+cargo run -q --release -p witag-lint -- --threads 1 --json LINT_report.json
+python3 -c "
+import json
+r = json.load(open('LINT_report.json'))
+assert r['schema'] == 'witag-lint/2', r['schema']
+assert r['findings'] == [], r['findings']
+"
+git diff --exit-code -- LINT_report.json
+
+# Parallel determinism: the report must be byte-identical no matter how
+# many worker threads scanned the files.
+cargo run -q --release -p witag-lint -- --threads 4 --json /tmp/witag_lint_t4.json
+cmp LINT_report.json /tmp/witag_lint_t4.json
+
+# The linter's own fixture suites (resolver edge pins, virtual-workspace
+# pass acceptance) also run under the simd feature so the parity pass and
+# the kernels see the flag from both sides.
+cargo test -q -p witag-lint -p witag-phy --features simd
 
 # Perf gate smoke: run the baseline binary in quick mode (tiny iteration
 # counts, same code paths) and assert it emits parseable JSON — both the

@@ -561,7 +561,7 @@ impl Link {
         ppdu: &witag_phy::legacy::LegacyPpdu,
         mode: TagMode,
     ) -> witag_phy::legacy::LegacyPpdu {
-        let layout = witag_phy::legacy::LegacyLayout::new();
+        let layout = witag_phy::legacy::LegacyLayout::cached();
         let freqs: Vec<f64> = (0..layout.n_occupied())
             .map(|pos| layout.freq_offset_hz(pos))
             .collect();

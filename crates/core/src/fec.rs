@@ -38,7 +38,7 @@ pub fn hamming74_decode(cw: &[u8; 7]) -> ([u8; 4], bool) {
     let syndrome = (s1 as usize) | ((s2 as usize) << 1) | ((s3 as usize) << 2);
     let corrected = syndrome != 0;
     if corrected {
-        w[syndrome - 1] ^= 1;
+        w[syndrome - 1] ^= 1; // lint:allow(panic_path) syndrome is 3 nonzero bits: 1..=7 indexes [u8; 7]
     }
     ([w[2], w[4], w[5], w[6]], corrected)
 }
@@ -102,7 +102,7 @@ impl FecLayout {
         for i in 0..n {
             let mut cw = [0u8; 7];
             for (j, slot) in cw.iter_mut().enumerate() {
-                *slot = channel[j * n + i];
+                *slot = channel[j * n + i]; // lint:allow(panic_path) j < 7, i < n, channel.len() == 7*n (checked by caller)
             }
             let (d, fixed) = hamming74_decode(&cw);
             if fixed {

@@ -182,7 +182,7 @@ impl DegreeDistribution {
         for (d0, p) in pdf.iter_mut().enumerate().take(spike.saturating_sub(1)) {
             *p += s / ((d0 + 1) as f64 * kf);
         }
-        pdf[spike - 1] += s * (s / ROBUST_SOLITON_DELTA).ln().max(0.0) / kf;
+        pdf[spike - 1] += s * (s / ROBUST_SOLITON_DELTA).ln().max(0.0) / kf; // lint:allow(panic_path) spike is clamped to 1..=k == pdf.len()
         // Normalise and integrate.
         let beta: f64 = pdf.iter().sum();
         let mut cdf = Vec::with_capacity(k);
@@ -537,9 +537,10 @@ impl FountainDecoder {
         }
     }
 
+    // Callers pass chunk ids validated against `solved.len()` on ingest.
     fn solve(&mut self, idx: usize, bits: Vec<u8>) {
-        if self.solved[idx].is_none() {
-            self.solved[idx] = Some(bits);
+        if self.solved[idx].is_none() { // lint:allow(panic_path) idx < k validated on symbol ingest
+            self.solved[idx] = Some(bits); // lint:allow(panic_path) same bound as the check above
             self.solved_count += 1;
         }
     }
@@ -552,7 +553,7 @@ impl FountainDecoder {
         while let Some(idx) = work.pop() {
             // Panic-free by construction: `idx` only enters the worklist
             // after `solve` stored the chunk.
-            let known = match self.solved[idx].clone() {
+            let known = match self.solved[idx].clone() { // lint:allow(panic_path) worklist only holds ids stored via solve()
                 Some(k) => k,
                 None => continue,
             };
@@ -570,7 +571,7 @@ impl FountainDecoder {
                         1 => {
                             let row = self.pending.swap_remove(i);
                             let target = row.neighbors[0];
-                            if self.solved[target].is_none() {
+                            if self.solved[target].is_none() { // lint:allow(panic_path) neighbor ids validated on symbol ingest
                                 self.solve(target, row.payload);
                                 work.push(target);
                             }

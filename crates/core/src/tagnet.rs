@@ -252,7 +252,7 @@ impl TagSender {
         }
         self.served = true;
         let seq = (self.cursor % 16) as u8;
-        encode_chunk(seq, &self.chunks[self.cursor], channel_bits)
+        encode_chunk(seq, &self.chunks[self.cursor], channel_bits) // lint:allow(panic_path) done() above guarantees cursor < chunks.len()
     }
 
     /// Index of the chunk currently being served.
@@ -460,7 +460,7 @@ impl SessionSender {
                 if abs >= self.chunks.len() {
                     return Ok(vec![1u8; channel_bits]); // idle fill past the end
                 }
-                encode_chunk((abs % 16) as u8, &self.chunks[abs], channel_bits)
+                encode_chunk((abs % 16) as u8, &self.chunks[abs], channel_bits) // lint:allow(panic_path) guarded by the early idle-fill return above
             }
             SessionQuery::Slide => {
                 let target = self.slide_target();
@@ -718,7 +718,7 @@ impl SessionClient {
         if self.got.len() <= abs {
             self.got.resize(abs + 1, None);
         }
-        if self.got[abs].is_some() {
+        if self.got[abs].is_some() { // lint:allow(panic_path) resized to abs + 1 above
             return 0; // duplicate
         }
         if abs == 0 {
@@ -727,7 +727,7 @@ impl SessionClient {
             self.header = Some((len, hcrc));
             self.n_chunks = Some(1 + (len * 8).div_ceil(CHUNK_PAYLOAD_BITS));
         }
-        self.got[abs] = Some(payload);
+        self.got[abs] = Some(payload); // lint:allow(panic_path) resized to abs + 1 above
         CHUNK_PAYLOAD_BITS
     }
 
@@ -1004,7 +1004,7 @@ where
                             Some(abs) => {
                                 !needs_confirm_pre
                                     || candidate.as_ref().is_some_and(|(_, p)| *p == payload)
-                                    || client.unconfirmed[abs].as_ref() == Some(&payload)
+                                    || client.unconfirmed[abs].as_ref() == Some(&payload) // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
                             }
                             // Control reports carry ~20 check bits
                             // (CRC + magic + seq): strong enough to
@@ -1034,7 +1034,7 @@ where
                     // tie-break reduces the "combine" to the older copy
                     // verbatim, which could rubber-stamp itself.
                     let combo = {
-                        let store = &mut client.soft[abs];
+                        let store = &mut client.soft[abs]; // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
                         store.push(bits);
                         while store.len() > SOFT_COPIES_CAP {
                             store.remove(0);
@@ -1049,12 +1049,12 @@ where
                         if expected_seq == Some(seq) {
                             let confirmed = !needs_confirm_pre
                                 || candidate.as_ref().is_some_and(|(_, p)| *p == payload)
-                                || client.unconfirmed[abs].as_ref() == Some(&payload);
+                                || client.unconfirmed[abs].as_ref() == Some(&payload); // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
                             if confirmed {
                                 decoded = Some((seq, payload));
                                 break 'attempt;
                             }
-                            client.unconfirmed[abs] = Some(payload);
+                            client.unconfirmed[abs] = Some(payload); // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
                         }
                     }
                 }
@@ -1112,7 +1112,7 @@ where
                 if client.attempts.len() <= abs {
                     client.attempts.resize(abs + 1, 0);
                 }
-                client.attempts[abs] = prior.saturating_add(issued as u32);
+                client.attempts[abs] = prior.saturating_add(issued as u32); // lint:allow(panic_path) resized to abs + 1 two lines up
                 if issued > 0 {
                     stats.retransmissions += issued - usize::from(prior == 0);
                 }
@@ -1124,8 +1124,8 @@ where
                 // candidate gets stashed until a later decode agrees.
                 if unconfirmed_decode {
                     let payload = decoded.as_ref().map(|(_, p)| p.clone());
-                    if payload.is_some() && client.unconfirmed[abs] != payload {
-                        client.unconfirmed[abs] = payload;
+                    if payload.is_some() && client.unconfirmed[abs] != payload { // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
+                        client.unconfirmed[abs] = payload; // lint:allow(panic_path) same bound as the check above
                         decoded = None;
                     }
                 }
@@ -1142,7 +1142,7 @@ where
                             s.clear();
                             s.shrink_to_fit();
                         }
-                        client.unconfirmed[abs] = None;
+                        client.unconfirmed[abs] = None; // lint:allow(panic_path) resized to abs + 1 where slot_abs is derived
                         client.consecutive_losses = 0;
                         client.backoff_exp = 0;
                         client.adapt_rate(true, &mut stats);

@@ -33,10 +33,10 @@ impl Rc4 {
     /// Next keystream byte.
     pub fn next_byte(&mut self) -> u8 {
         self.i = self.i.wrapping_add(1);
-        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]); // lint:allow(panic_path) u8 index into [u8; 256]
         self.s.swap(self.i as usize, self.j as usize);
-        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
-        self.s[idx as usize]
+        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]); // lint:allow(panic_path) u8 index into [u8; 256]
+        self.s[idx as usize] // lint:allow(panic_path) u8 index into [u8; 256]
     }
 
     /// XOR the keystream into `data` (encrypt == decrypt).

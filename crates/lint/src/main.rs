@@ -5,8 +5,11 @@
 //! ```text
 //! cargo run -p witag-lint                      # human diagnostics
 //! cargo run -p witag-lint -- --json LINT_report.json
-//! cargo run -p witag-lint -- --root /path/to/repo
+//! cargo run -p witag-lint -- --root /path/to/repo --threads 4
 //! ```
+//!
+//! `--threads N` fans the per-file phase out over `witag_sim::par_map`;
+//! the report is byte-identical at any N (ci.sh asserts this).
 
 #![forbid(unsafe_code)]
 
@@ -16,13 +19,23 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
+            "--threads" => {
+                threads = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("witag-lint: --threads needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: witag-lint [--root DIR] [--json PATH]");
+                eprintln!("usage: witag-lint [--root DIR] [--json PATH] [--threads N]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -40,7 +53,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|_| PathBuf::from("."))
     });
 
-    let report = match witag_lint::run_workspace(&root) {
+    let report = match witag_lint::run_workspace(&root, threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("witag-lint: failed to scan {}: {e}", root.display());

@@ -1,0 +1,80 @@
+//! Transitive no_alloc: the full statically-resolvable callee closure of
+//! every `// lint:no_alloc` function must be allocation-free.
+//!
+//! The per-line `no_alloc` rule only inspects a marked function's own
+//! body; this pass walks the call graph from each marked root and reports
+//! allocation tokens anywhere in the reachable closure, with the call
+//! chain from the root to the offender as evidence. Edges the resolver
+//! could not close (callbacks, unresolved paths) are reported as
+//! `unknown_callee` at the marked boundary itself — the proof visibly
+//! stops there instead of silently assuming the callee is clean.
+
+use crate::graph::{hits_of, Target};
+use crate::passes::PassCtx;
+use crate::resolve::HitKind;
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Run the `no_alloc_transitive` and `unknown_callee` passes.
+pub fn run(ctx: &PassCtx<'_>, findings: &mut Vec<Finding>) {
+    let g = ctx.graph;
+    // One allocation site is reported once even when reachable from many
+    // roots; root iteration order (node id) makes the kept chain stable.
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for root in g.no_alloc_roots() {
+        let rootq = g.nodes[root].qualified();
+        let reach = g.bfs(&[root], &|_| false);
+        for id in reach.ids() {
+            let n = &g.nodes[id];
+            // The root's own body — and any reached fn that carries its
+            // own marker — is covered by the per-line `no_alloc` rule.
+            if n.no_alloc {
+                continue;
+            }
+            for hit in hits_of(n, HitKind::Alloc) {
+                if ctx.allowed(&n.file, hit.line, "no_alloc_transitive")
+                    || ctx.allowed(&n.file, hit.line, "no_alloc")
+                {
+                    continue;
+                }
+                if !seen.insert((n.file.clone(), hit.line)) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "no_alloc_transitive",
+                    file: n.file.clone(),
+                    line: hit.line,
+                    function: Some(n.qualified()),
+                    message: format!(
+                        "{} allocates in `{}`, which is reachable from lint:no_alloc `{}` — the transitive closure of a marked fn must stay allocation-free",
+                        hit.what,
+                        n.qualified(),
+                        rootq
+                    ),
+                    evidence: reach.chain(g, id),
+                });
+            }
+        }
+        // Unresolvable edges at the marked boundary: the no_alloc proof
+        // does not extend through them, say so where the marker is.
+        for call in &g.calls[root] {
+            if let Target::Unknown(reason) = &call.target {
+                let file = &g.nodes[root].file;
+                if ctx.allowed(file, call.line, "unknown_callee") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "unknown_callee",
+                    file: file.clone(),
+                    line: call.line,
+                    function: Some(rootq.clone()),
+                    message: format!(
+                        "call to `{}` from lint:no_alloc `{}` cannot be resolved statically ({}); the allocation-freedom proof stops here",
+                        call.name, rootq, reason
+                    ),
+                    evidence: vec![g.nodes[root].evidence()],
+                });
+            }
+        }
+    }
+}

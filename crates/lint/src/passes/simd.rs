@@ -1,0 +1,50 @@
+//! `cfg(feature = "simd")` parity: every simd-gated item has a portable
+//! twin (and vice versa) in the same file.
+//!
+//! The simd feature is an autovectoriser-friendly structure-of-arrays
+//! variant of the hot kernels (DESIGN §4h); the golden equivalence tests
+//! only prove both variants agree when both variants *exist*. An item
+//! gated `#[cfg(feature = "simd")]` with no `#[cfg(not(feature =
+//! "simd"))]` counterpart of the same name (or the reverse) means one
+//! build configuration silently loses the item — this pass makes that a
+//! finding at the gating attribute. Runtime `cfg!(feature = "simd")`
+//! branches are not attributes and are exempt: both sides compile there.
+
+use crate::passes::PassCtx;
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Run the `simd_parity` pass.
+pub fn run(ctx: &PassCtx<'_>, findings: &mut Vec<Finding>) {
+    for f in ctx.facts {
+        // name -> (first simd-gated line, first portable-gated line)
+        let mut by_name: BTreeMap<&str, (Option<u32>, Option<u32>)> = BTreeMap::new();
+        for item in &f.simd_items {
+            let e = by_name.entry(item.name.as_str()).or_insert((None, None));
+            let slot = if item.simd { &mut e.0 } else { &mut e.1 };
+            if slot.is_none() {
+                *slot = Some(item.line);
+            }
+        }
+        for (name, (simd, portable)) in by_name {
+            let (line, missing, present) = match (simd, portable) {
+                (Some(l), None) => (l, "cfg(not(feature = \"simd\"))", "simd"),
+                (None, Some(l)) => (l, "cfg(feature = \"simd\")", "portable"),
+                _ => continue,
+            };
+            if ctx.allowed(&f.file, line, "simd_parity") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "simd_parity",
+                file: f.file.clone(),
+                line,
+                function: None,
+                message: format!(
+                    "`{name}` exists only in the {present} build: no {missing} twin in this file — one feature configuration loses it and the golden equivalence tests cannot compare variants"
+                ),
+                evidence: Vec::new(),
+            });
+        }
+    }
+}

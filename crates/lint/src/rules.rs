@@ -19,7 +19,10 @@ use crate::scan::FileMap;
 /// One linter finding, attributed to crate → file → line → function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule that fired (`determinism`, `panic_freedom`, `no_alloc`, `hygiene`).
+    /// Rule that fired (`determinism`, `panic_freedom`, `no_alloc`,
+    /// `hygiene`, or one of the interprocedural/consistency rules:
+    /// `no_alloc_transitive`, `unknown_callee`, `panic_path`,
+    /// `determinism_taint`, `obs_schema`, `simd_parity`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub file: String,
@@ -29,6 +32,10 @@ pub struct Finding {
     pub function: Option<String>,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Call-chain evidence for interprocedural findings: each entry is one
+    /// hop, `name (file:line)`, from the protected root down to the
+    /// offending function. Empty for single-file (per-line) findings.
+    pub evidence: Vec<String>,
 }
 
 /// Which rule families apply to a given file (decided by the workspace
@@ -88,11 +95,12 @@ fn push(
         line,
         function: map.enclosing_fn(idx).map(|s| s.to_string()),
         message,
+        evidence: Vec::new(),
     });
 }
 
 /// Does `toks[i..]` start with the `::`-separated identifier path `path`?
-fn path_match(toks: &[Token<'_>], i: usize, path: &[&str]) -> bool {
+pub(crate) fn path_match(toks: &[Token<'_>], i: usize, path: &[&str]) -> bool {
     let mut j = i;
     for (n, seg) in path.iter().enumerate() {
         if n > 0 {
@@ -113,7 +121,7 @@ fn path_match(toks: &[Token<'_>], i: usize, path: &[&str]) -> bool {
 
 /// Is token `i` a method call `.name(`? (Distinguishes `x.unwrap()` from a
 /// standalone identifier `unwrap` or a path `Option::unwrap`.)
-fn method_call(toks: &[Token<'_>], i: usize, name: &str) -> bool {
+pub(crate) fn method_call(toks: &[Token<'_>], i: usize, name: &str) -> bool {
     i > 0
         && toks[i - 1].is_punct('.')
         && toks[i].is_ident(name)
@@ -121,7 +129,7 @@ fn method_call(toks: &[Token<'_>], i: usize, name: &str) -> bool {
 }
 
 /// Is token `i` a macro invocation `name!`?
-fn macro_call(toks: &[Token<'_>], i: usize, name: &str) -> bool {
+pub(crate) fn macro_call(toks: &[Token<'_>], i: usize, name: &str) -> bool {
     toks[i].is_ident(name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
 }
 
@@ -201,27 +209,83 @@ const ALLOC_METHODS: &[&str] = &["to_vec", "collect", "clone"];
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 const ALLOC_PATHS: &[&[&str]] = &[&["Vec", "new"], &["Box", "new"], &["String", "from"]];
 
+/// Does token `i` hit an allocation pattern? Returns the rendered token
+/// (`".collect()"`, `"vec!"`, `"Vec::new"`). Shared by the per-line
+/// `no_alloc` pass and the transitive closure pass.
+pub(crate) fn alloc_hit(toks: &[Token<'_>], i: usize) -> Option<String> {
+    for m in ALLOC_METHODS {
+        if method_call(toks, i, m) {
+            return Some(format!(".{m}()"));
+        }
+    }
+    for m in ALLOC_MACROS {
+        if macro_call(toks, i, m) {
+            return Some(format!("{m}!"));
+        }
+    }
+    for p in ALLOC_PATHS {
+        if path_match(toks, i, p) {
+            return Some(p.join("::"));
+        }
+    }
+    None
+}
+
+/// Does token `i` hit a panic pattern? Returns the rendered token
+/// (`".unwrap()"`, `"panic!"`). Shared by the per-line `panic_freedom`
+/// pass and the interprocedural `panic_path` pass.
+pub(crate) fn panic_hit(toks: &[Token<'_>], i: usize) -> Option<String> {
+    for m in ["unwrap", "expect"] {
+        if method_call(toks, i, m) {
+            return Some(format!(".{m}()"));
+        }
+    }
+    for m in ["panic", "todo", "unimplemented"] {
+        if macro_call(toks, i, m) {
+            return Some(format!("{m}!"));
+        }
+    }
+    None
+}
+
+/// Does token `i` hit a nondeterminism source? Returns the rendered
+/// token. Shares the `determinism` pass's token vocabulary; used by the
+/// taint pass to find entropy/time/hash-order sources in *any* crate
+/// (the per-line pass only patrols the determinism-scope crates). The
+/// simulated `witag_sim::time::Instant` is deliberately not matched —
+/// only the `std::` spellings are wall-clock.
+pub(crate) fn determinism_hit(toks: &[Token<'_>], i: usize) -> Option<String> {
+    if path_match(toks, i, &["std", "time"]) {
+        return Some("std::time".into());
+    }
+    if path_match(toks, i, &["std", "thread"]) || path_match(toks, i, &["thread", "spawn"]) {
+        return Some("std::thread".into());
+    }
+    if toks[i].kind == TokKind::Ident
+        && matches!(toks[i].text, "HashMap" | "HashSet" | "RandomState" | "DefaultHasher")
+    {
+        return Some(toks[i].text.to_string());
+    }
+    if toks[i].kind == TokKind::Ident
+        && matches!(toks[i].text, "thread_rng" | "from_entropy" | "OsRng" | "getrandom")
+    {
+        return Some(toks[i].text.to_string());
+    }
+    if toks[i].is_ident("rand")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+    {
+        return Some("rand::".into());
+    }
+    None
+}
+
 fn no_alloc(file: &str, lexed: &Lexed<'_>, map: &FileMap, findings: &mut Vec<Finding>) {
     let toks = &lexed.tokens;
     for f in map.fns.iter().filter(|f| f.no_alloc) {
         for i in f.body_start..f.body_end.min(toks.len()) {
             let line = toks[i].line;
-            let mut hit: Option<String> = None;
-            for m in ALLOC_METHODS {
-                if method_call(toks, i, m) {
-                    hit = Some(format!(".{m}()"));
-                }
-            }
-            for m in ALLOC_MACROS {
-                if macro_call(toks, i, m) {
-                    hit = Some(format!("{m}!"));
-                }
-            }
-            for p in ALLOC_PATHS {
-                if path_match(toks, i, p) {
-                    hit = Some(p.join("::"));
-                }
-            }
+            let hit: Option<String> = alloc_hit(toks, i);
             if let Some(what) = hit {
                 push(findings, map, file, "no_alloc", i, line,
                     format!("{what} allocates inside `{}`, which is marked lint:no_alloc (the RX hot path owns its buffers in scratch)", f.name));
@@ -253,6 +317,7 @@ fn crate_root_forbids_unsafe(file: &str, lexed: &Lexed<'_>, findings: &mut Vec<F
             line: 1,
             function: None,
             message: "crate root is missing #![forbid(unsafe_code)]".into(),
+            evidence: Vec::new(),
         });
     }
 }

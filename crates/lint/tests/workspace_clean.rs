@@ -1,14 +1,20 @@
 //! The linter's own acceptance test: the real workspace carries zero
-//! findings. Any rule violation introduced anywhere in the tree fails
-//! this test (and `ci.sh`) with the offending file and line.
+//! findings — per-file rules AND the whole-workspace passes (transitive
+//! no_alloc, panic propagation, determinism taint, obs-schema and simd
+//! parity). Any violation introduced anywhere in the tree fails this
+//! test (and `ci.sh`) with the offending file, line and call chain.
 
 use std::path::Path;
 
-#[test]
-fn workspace_has_zero_findings() {
+fn run(threads: usize) -> witag_lint::report::Report {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let root = root.canonicalize().expect("workspace root exists");
-    let report = witag_lint::run_workspace(&root).expect("workspace scan succeeds");
+    witag_lint::run_workspace(&root, threads).expect("workspace scan succeeds")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let report = run(1);
     assert!(
         report.files_scanned > 50,
         "suspiciously few files scanned: {}",
@@ -17,11 +23,42 @@ fn workspace_has_zero_findings() {
     let rendered: Vec<String> = report
         .findings
         .iter()
-        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .map(|f| {
+            let chain = if f.evidence.is_empty() {
+                String::new()
+            } else {
+                format!("\n    via {}", f.evidence.join(" -> "))
+            };
+            format!("{}:{}: [{}] {}{}", f.file, f.line, f.rule, f.message, chain)
+        })
         .collect();
     assert!(
         report.findings.is_empty(),
         "workspace must be lint-clean:\n{}",
         rendered.join("\n")
     );
+}
+
+#[test]
+fn report_is_schema_v2_with_all_passes() {
+    let json = run(1).to_json();
+    assert!(json.contains("\"schema\": \"witag-lint/2\""));
+    for pass in witag_lint::passes::PASSES {
+        assert!(
+            json.contains(&format!("\"{pass}\"")),
+            "pass {pass} missing from report"
+        );
+    }
+    assert!(
+        !json.contains("\"root\""),
+        "report must carry no machine-specific paths"
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let one = run(1).to_json();
+    for threads in [2, 4, 7] {
+        assert_eq!(one, run(threads).to_json(), "threads={threads} diverged");
+    }
 }

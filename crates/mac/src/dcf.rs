@@ -184,7 +184,7 @@ pub fn simulate(stations: &mut [DcfStation], horizon: Duration, seed: u64) -> Dc
         }
 
         if winners.len() == 1 {
-            let w = &mut stations[winners[0]];
+            let w = &mut stations[winners[0]]; // lint:allow(panic_path) winners holds enumerate() indices of stations, len checked above
             now += w.exchange_airtime;
             w.delivered += 1;
             w.airtime_used += w.exchange_airtime;

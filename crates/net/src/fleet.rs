@@ -481,7 +481,7 @@ impl FlowClient {
         if self.got.len() <= abs {
             self.got.resize(abs + 1, None);
         }
-        if self.got[abs].is_some() {
+        if self.got[abs].is_some() { // lint:allow(panic_path) resized to abs + 1 above
             return 0; // duplicate
         }
         if abs == 0 {
@@ -492,7 +492,7 @@ impl FlowClient {
             self.header = Some((len, hcrc));
             self.n_chunks = Some(1 + (len * 8).div_ceil(CHUNK_PAYLOAD_BITS));
         }
-        self.got[abs] = Some(payload);
+        self.got[abs] = Some(payload); // lint:allow(panic_path) resized to abs + 1 above
         CHUNK_PAYLOAD_BITS
     }
 
@@ -831,7 +831,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
             if link.done || (!ignore_cooldown && link.ready_at > now) {
                 continue;
             }
-            per_client[link.client].push(Candidate {
+            per_client[link.client].push(Candidate { // lint:allow(panic_path) link.client < cfg.clients, per_client sized cfg.clients
                 tag,
                 airtime_used: link.airtime_used,
                 round_airtime: link.exchange,
@@ -862,7 +862,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
         if pred_active && contenders.len() > 1 && predictor.forecast() > PRED_BUSY_THRESHOLD {
             let mut elected = contenders[0];
             for &c in &contenders[1..] {
-                if defer_streak[c] > defer_streak[elected] {
+                if defer_streak[c] > defer_streak[elected] { // lint:allow(panic_path) contenders hold client ids < cfg.clients == defer_streak.len()
                     elected = c;
                 }
             }
@@ -872,7 +872,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
                     defer_streak[c] += 1;
                 }
             }
-            defer_streak[elected] = 0;
+            defer_streak[elected] = 0; // lint:allow(panic_path) contenders hold client ids < cfg.clients == defer_streak.len()
             if rec.enabled() {
                 rec.record(&Event::NetPredict {
                     round: fleet_round,
@@ -927,7 +927,7 @@ pub fn run_fleet(cfg: &FleetConfig, rec: &mut dyn Recorder) -> Result<FleetRepor
             .iter()
             .map(|&c| {
                 let pos = clients[c].sched.pick(&per_client[c]);
-                (c, per_client[c][pos].tag)
+                (c, per_client[c][pos].tag) // lint:allow(panic_path) pick() returns an index into the slice it was given
             })
             .collect();
         let busy = picks

@@ -89,7 +89,7 @@ impl TrafficPredictor {
             self.ewma = next as f64;
             self.airtime_ewma_us = airtime.as_micros() as f64;
         } else {
-            self.trans[self.state][next] += 1;
+            self.trans[self.state][next] += 1; // lint:allow(panic_path) state/next are usize::from(bool), trans is 2x2
             self.ewma = (1.0 - EWMA_ALPHA) * self.ewma + EWMA_ALPHA * next as f64;
             self.airtime_ewma_us = (1.0 - EWMA_ALPHA) * self.airtime_ewma_us
                 + EWMA_ALPHA * airtime.as_micros() as f64;
@@ -106,7 +106,7 @@ impl TrafficPredictor {
     /// Laplace-smoothed Markov estimate of `P(next access busy | last
     /// state)` — the burst-structure half of the forecast.
     pub fn markov_busy(&self) -> f64 {
-        let row = &self.trans[self.state];
+        let row = &self.trans[self.state]; // lint:allow(panic_path) state is usize::from(bool), trans is 2x2
         (row[1] + 1) as f64 / (row[0] + row[1] + 2) as f64
     }
 

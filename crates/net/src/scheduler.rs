@@ -135,7 +135,7 @@ impl Scheduler for RrScheduler {
                 .unwrap_or(0),
             None => 0,
         };
-        self.last = Some(candidates[pos].tag);
+        self.last = Some(candidates[pos].tag); // lint:allow(panic_path) pick() contract: candidates non-empty, pos from position() or 0
         pos
     }
 
@@ -193,21 +193,21 @@ impl Scheduler for FairScheduler {
                 .unwrap_or(0);
             for off in 0..candidates.len() {
                 let pos = (start + off) % candidates.len();
-                let c = &candidates[pos];
-                if self.deficit[c.tag] >= c.round_airtime.as_nanos() {
+                let c = &candidates[pos]; // lint:allow(panic_path) pos is taken modulo candidates.len()
+                if self.deficit[c.tag] >= c.round_airtime.as_nanos() { // lint:allow(panic_path) deficit grown to cover every candidate tag on entry
                     self.cursor = c.tag + 1;
                     return pos;
                 }
             }
             for c in candidates {
-                self.deficit[c.tag] += quantum;
+                self.deficit[c.tag] += quantum; // lint:allow(panic_path) deficit grown to cover every candidate tag on entry
             }
         }
     }
 
     fn on_served(&mut self, tag: usize, airtime: Duration) {
         self.grow(tag);
-        let d = &mut self.deficit[tag];
+        let d = &mut self.deficit[tag]; // lint:allow(panic_path) grow(tag) on the line above
         *d = d.saturating_sub(airtime.as_nanos());
     }
 }

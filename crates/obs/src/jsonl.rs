@@ -133,7 +133,7 @@ pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     loop {
         let rel = line.get(search_from..)?.find(key)?;
         let at = search_from + rel;
-        let before_ok = at >= 1 && line.as_bytes()[at - 1] == b'"';
+        let before_ok = at >= 1 && line.as_bytes()[at - 1] == b'"'; // lint:allow(panic_path) short-circuit guard: at >= 1
         let after = at + key.len();
         let after_ok = line.as_bytes().get(after) == Some(&b'"')
             && line.as_bytes().get(after + 1) == Some(&b':');

@@ -373,7 +373,7 @@ fn viterbi_kernel(
     out.resize(n_steps, 0);
     for step in (0..n_steps).rev() {
         out[step] = (state & 1) as u8; // input bit is the successor's LSB
-        let from_high = survivors[(step << (CONSTRAINT - 1)) | state];
+        let from_high = survivors[(step << (CONSTRAINT - 1)) | state]; // lint:allow(panic_path) step < n_steps, state < 2^(K-1), survivors sized n_steps * 2^(K-1)
         state = (state >> 1) | ((from_high as usize) << (CONSTRAINT - 2));
     }
 }

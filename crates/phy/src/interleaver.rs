@@ -72,7 +72,9 @@ fn permutation(d: InterleaverDims) -> Vec<usize> {
             // Second permutation (rotation across constellation bits).
             (s * (i / s)) + (i + d.n_cbps - (d.n_col * i) / d.n_cbps) % s
         })
-        .collect()
+        // Cache build: runs once per distinct dimension set when a scratch
+        // first sees it, then every decode is lookup-only.
+        .collect() // lint:allow(no_alloc_transitive)
 }
 
 /// A precomputed interleaver permutation for one set of dimensions.

@@ -20,6 +20,7 @@ use crate::params::timing;
 use crate::ppdu::{bytes_to_bits, pilot_values, OfdmSymbol};
 use crate::receiver::RxScratch;
 use crate::scrambler::Scrambler;
+use std::sync::LazyLock;
 use witag_sim::time::Duration;
 
 pub use crate::airtime::LegacyRate;
@@ -37,6 +38,11 @@ impl Default for LegacyLayout {
         Self::new()
     }
 }
+
+// Backing store for [`LegacyLayout::cached`]: the clause-17 tone plan is
+// a compile-time constant, built at most once per process (the builder
+// otherwise only runs from tests).
+static LEGACY_LAYOUT: LazyLock<LegacyLayout> = LazyLock::new(LegacyLayout::new);
 
 impl LegacyLayout {
     /// Build the clause-17 tone plan.
@@ -59,6 +65,12 @@ impl LegacyLayout {
         }
     }
 
+    /// Process-lifetime cached tone plan (the receive chain used to
+    /// rebuild the three position vectors on every call).
+    pub fn cached() -> &'static LegacyLayout {
+        &LEGACY_LAYOUT
+    }
+
     /// Occupied subcarrier count (52).
     pub fn n_occupied(&self) -> usize {
         self.indices.len()
@@ -75,8 +87,11 @@ impl LegacyLayout {
     }
 
     /// Baseband frequency of storage position `pos` (Hz).
+    ///
+    /// # Panics
+    /// Panics if `pos` is not a storage position (`pos >= n_occupied()`).
     pub fn freq_offset_hz(&self, pos: usize) -> f64 {
-        self.indices[pos] as f64 * 312_500.0
+        self.indices[pos] as f64 * 312_500.0 // lint:allow(panic_path) documented contract: pos < n_occupied()
     }
 }
 
@@ -126,7 +141,7 @@ const SCRAMBLER_SEED: u8 = 0x2F;
 /// Transmit a PSDU in the legacy format.
 pub fn legacy_transmit(rate: LegacyRate, psdu: &[u8]) -> LegacyPpdu {
     assert!(!psdu.is_empty(), "PSDU must be non-empty");
-    let layout = LegacyLayout::new();
+    let layout = LegacyLayout::cached();
     let ndbps = rate.ndbps();
     let n_bpscs = rate.modulation().bits_per_subcarrier();
     let dims = InterleaverDims::legacy(n_bpscs);
@@ -176,7 +191,10 @@ pub fn legacy_transmit(rate: LegacyRate, psdu: &[u8]) -> LegacyPpdu {
 }
 
 /// Receive a legacy PPDU: estimate from the LTF, equalise, decode.
-// lint:no_alloc
+///
+/// This is the allocating convenience wrapper (fresh scratch, fresh
+/// output); the allocation-free steady-state contract lives on
+/// [`legacy_receive_many_into`] and the shared decode core.
 pub fn legacy_receive(rx: &LegacyPpdu, noise_var: f64) -> Vec<u8> {
     legacy_receive_with_scratch(rx, noise_var, &mut RxScratch::new())
 }
@@ -192,11 +210,11 @@ pub fn legacy_receive_with_scratch(
     scratch: &mut RxScratch,
 ) -> Vec<u8> {
     let mut out = Vec::new();
-    let layout = LegacyLayout::new();
+    let layout = LegacyLayout::cached();
     let dims = InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier());
     let (perms, _pilots, mut bufs) = scratch.split();
     RxScratch::perm(perms, dims);
-    legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, &mut out);
+    legacy_decode_core(rx, noise_var, layout, perms, &mut bufs, &mut out);
     out
 }
 
@@ -227,13 +245,13 @@ pub fn legacy_receive_many_into(
 ) {
     out.truncate(ppdus.len());
     out.resize_with(ppdus.len(), Vec::new); // lint:allow(no_alloc)
-    let layout = LegacyLayout::new();
+    let layout = LegacyLayout::cached();
     let (perms, _pilots, mut bufs) = scratch.split();
     for rx in ppdus {
         RxScratch::perm(perms, InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier()));
     }
     for (rx, dst) in ppdus.iter().zip(out.iter_mut()) {
-        legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, dst);
+        legacy_decode_core(rx, noise_var, layout, perms, &mut bufs, dst);
     }
 }
 
@@ -248,13 +266,13 @@ pub fn legacy_receive_many_mixed(
 ) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     out.resize_with(ppdus.len(), Vec::new);
-    let layout = LegacyLayout::new();
+    let layout = LegacyLayout::cached();
     let (perms, _pilots, mut bufs) = scratch.split();
     for (rx, _) in ppdus {
         RxScratch::perm(perms, InterleaverDims::legacy(rx.rate.modulation().bits_per_subcarrier()));
     }
     for (&(rx, noise_var), dst) in ppdus.iter().zip(out.iter_mut()) {
-        legacy_decode_core(rx, noise_var, &layout, perms, &mut bufs, dst);
+        legacy_decode_core(rx, noise_var, layout, perms, &mut bufs, dst);
     }
     out
 }
@@ -283,7 +301,7 @@ fn legacy_decode_core(
     let n_data = data_pos.len();
 
     // The cache was warmed by the caller; `position` cannot miss.
-    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)];
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)]; // lint:allow(panic_path) callers warm the cache, so perms is non-empty
 
     // Per-PPDU hoisted channel gather and demapper scales (the estimate
     // is static across the PPDU's symbols — same arithmetic as the old

@@ -6,6 +6,7 @@
 //! subcarrier by a complex coefficient. The numbers here are from IEEE
 //! 802.11-2016 clause 19 (HT) and 21 (VHT).
 
+use std::sync::LazyLock;
 use witag_sim::time::Duration;
 
 /// Channel bandwidth.
@@ -141,6 +142,13 @@ pub struct SubcarrierLayout {
     spacing_hz: f64,
 }
 
+// Backing stores for [`SubcarrierLayout::cached`]. Initialised at most
+// once per process; the builder only ever runs from these initialisers
+// (and from tests exercising it directly), never on a decode path.
+static LAYOUT_20: LazyLock<SubcarrierLayout> = LazyLock::new(|| SubcarrierLayout::new(Bandwidth::Mhz20));
+static LAYOUT_40: LazyLock<SubcarrierLayout> = LazyLock::new(|| SubcarrierLayout::new(Bandwidth::Mhz40));
+static LAYOUT_80: LazyLock<SubcarrierLayout> = LazyLock::new(|| SubcarrierLayout::new(Bandwidth::Mhz80));
+
 impl SubcarrierLayout {
     /// Layout for the given bandwidth (HT/VHT tone plans).
     pub fn new(bw: Bandwidth) -> Self {
@@ -169,6 +177,18 @@ impl SubcarrierLayout {
         }
     }
 
+    /// Process-lifetime cached layout for the given bandwidth. The tone
+    /// plans are compile-time constants; the receive chain used to rebuild
+    /// the three position vectors on every decode, which showed up as the
+    /// dominant allocation under `lint:no_alloc` transitive analysis.
+    pub fn cached(bw: Bandwidth) -> &'static SubcarrierLayout {
+        match bw {
+            Bandwidth::Mhz20 => &LAYOUT_20,
+            Bandwidth::Mhz40 => &LAYOUT_40,
+            Bandwidth::Mhz80 => &LAYOUT_80,
+        }
+    }
+
     /// Number of occupied subcarriers.
     pub fn n_occupied(&self) -> usize {
         self.indices.len()
@@ -187,8 +207,11 @@ impl SubcarrierLayout {
     /// Baseband frequency offset (Hz) of the subcarrier at storage
     /// position `pos`. Used by the multipath model to compute per-tone
     /// phase rotations `e^{−j2π f τ}`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is not a storage position (`pos >= n_occupied()`).
     pub fn freq_offset_hz(&self, pos: usize) -> f64 {
-        self.indices[pos] as f64 * self.spacing_hz
+        self.indices[pos] as f64 * self.spacing_hz // lint:allow(panic_path) documented contract: pos < n_occupied()
     }
 }
 

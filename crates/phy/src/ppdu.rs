@@ -75,9 +75,10 @@ impl PhyConfig {
         n_info.div_ceil(self.ndbps())
     }
 
-    /// Subcarrier layout for this bandwidth.
-    pub fn layout(&self) -> SubcarrierLayout {
-        SubcarrierLayout::new(self.bandwidth)
+    /// Subcarrier layout for this bandwidth (process-lifetime cached —
+    /// this is on the per-decode hot path).
+    pub fn layout(&self) -> &'static SubcarrierLayout {
+        SubcarrierLayout::cached(self.bandwidth)
     }
 
     /// Preamble duration (HT mixed format for this stream count).
@@ -174,7 +175,9 @@ pub fn pilot_values(n_pilots: usize) -> Vec<Complex64> {
                 c64(1.0, 0.0)
             }
         })
-        .collect()
+        // Cache build: runs once per distinct pilot count when a scratch
+        // first sees it, then every decode is lookup-only.
+        .collect() // lint:allow(no_alloc_transitive)
 }
 
 /// Expand PSDU bytes to LSB-first bits.

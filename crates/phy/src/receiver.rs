@@ -120,7 +120,7 @@ impl RxScratch {
                 perms.len() - 1
             }
         };
-        &perms[i]
+        &perms[i] // lint:allow(panic_path) i is a position() hit or len - 1 after push
     }
 
     /// Cached pilot pattern for `n_pilots` pilot tones.
@@ -132,7 +132,7 @@ impl RxScratch {
                 pilots.len() - 1
             }
         };
-        &pilots[i]
+        &pilots[i] // lint:allow(panic_path) i is a position() hit or len - 1 after push
     }
 }
 
@@ -199,7 +199,10 @@ impl DecodedPsdu {
 /// LLRs. Real receivers estimate this from the preamble; giving the model
 /// the true value removes an estimation error source that is orthogonal to
 /// what the reproduction studies.
-// lint:no_alloc
+///
+/// This is the allocating convenience wrapper (fresh scratch, fresh
+/// output); the allocation-free steady-state contract lives on
+/// [`receive_many_into`] and the shared decode core.
 pub fn receive(rx: &Ppdu, noise_var: f64) -> DecodedPsdu {
     receive_with_scratch(rx, noise_var, &mut RxScratch::new())
 }
@@ -346,10 +349,10 @@ pub(crate) fn decode_core(
     let n_data = data_pos.len();
 
     // The caches were warmed by the caller; `position` cannot miss.
-    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)];
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)]; // lint:allow(panic_path) callers warm the cache, so perms is non-empty
     let n_pilots = layout.pilot_positions().len();
     let pilots: &[Complex64] =
-        &pilot_cache[pilot_cache.iter().position(|p| p.len() == n_pilots).unwrap_or(0)];
+        &pilot_cache[pilot_cache.iter().position(|p| p.len() == n_pilots).unwrap_or(0)]; // lint:allow(panic_path) callers warm the cache, so pilot_cache is non-empty
 
     // Grows only on the first call (or a wider nss): steady state is a
     // no-op and the placeholder `Vec::new` never allocates until filled.

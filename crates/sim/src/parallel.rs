@@ -66,7 +66,9 @@ where
             })
             .collect();
         for handle in handles {
-            collected.extend(handle.join().expect("par_map worker panicked"));
+            // Re-raising a worker panic is the correct fork-join semantics:
+            // swallowing it would return a silently truncated result set.
+            collected.extend(handle.join().expect("par_map worker panicked")); // lint:allow(panic_path)
         }
     });
     collected.sort_by_key(|&(i, _)| i);

@@ -143,8 +143,7 @@ impl SampleSet {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
     }

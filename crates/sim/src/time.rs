@@ -67,7 +67,9 @@ impl Instant {
         Duration(
             self.0
                 .checked_sub(earlier.0)
-                .expect("Instant::since: `earlier` is in the future"),
+                // Documented misuse guard (see `# Panics` above); callers that
+                // cannot prove ordering use `saturating_since`.
+                .expect("Instant::since: `earlier` is in the future"), // lint:allow(panic_path)
         )
     }
 

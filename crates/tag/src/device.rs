@@ -279,7 +279,7 @@ impl Tag {
         // output), which lags the true RF edge by the detector latency;
         // the tick counter is (asynchronously) restarted on this edge, so
         // every subsequent instant is `reference + k·tick`.
-        let (marker_start, marker_dur) = bursts[last_marker];
+        let (marker_start, marker_dur) = bursts[last_marker]; // lint:allow(panic_path) matcher.find returns an index into the bursts it searched
         let phase_ref = marker_start + marker_dur; // already includes latency
 
         // Tick-counted delays from the phase reference, in *actual*
