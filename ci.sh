@@ -50,7 +50,18 @@ WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
     WITAG_PERF_NET_OUT=/tmp/witag_net_smoke.json \
     cargo run -q --release -p witag-bench --bin perf_gate > /dev/null
 python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"
-python3 -c "import json; r = json.load(open('/tmp/witag_net_smoke.json')); assert r['scale'], r"
+python3 - <<'EOF'
+import json
+r = json.load(open('/tmp/witag_net_smoke.json'))
+assert r['schema'] == 'witag-net-scale-v4', r['schema']
+assert r['scale'], r
+rows = r['metro']['rows']
+assert rows, 'quick mode must still exercise the metro engine'
+for row in rows:
+    assert row['fair_delivered'] > 0, row
+    assert row['goodput_ratio'] > 1.0, f"metro scheduling must beat serial polling: {row}"
+print(f"net gate: {len(r['scale'])} fleet rows, {len(rows)} metro rows — ok")
+EOF
 python3 - <<'EOF'
 import json
 cur = json.load(open('/tmp/witag_perf_smoke.json'))
@@ -64,12 +75,12 @@ assert measured >= 0.7 * committed, (
 print(f"perf gate: receive chain {measured:.2f}x vs committed {committed:.2f}x — ok")
 EOF
 
-# Trace smoke: a parallel sweep streamed to a witag-obs/1 JSONL trace,
+# Trace smoke: a parallel sweep streamed to a witag-obs/2 JSONL trace,
 # then aggregated by `report`. Asserts the trace carries the schema
 # header and that the aggregator sees events (docs/OBS_SCHEMA.md).
 cargo run -q --release -p witag-cli -- sweep --from 1 --to 2 --step 1 \
     --rounds 10 --threads 2 --trace /tmp/witag_trace_smoke.jsonl
-head -n 1 /tmp/witag_trace_smoke.jsonl | grep -q '"schema":"witag-obs/1"'
+head -n 1 /tmp/witag_trace_smoke.jsonl | grep -q '"schema":"witag-obs/2"'
 cargo run -q --release -p witag-cli -- report /tmp/witag_trace_smoke.jsonl \
     | grep -q 'sweep_point'
 
@@ -90,3 +101,35 @@ cargo run -q --release -p witag-cli -- net --clients 2 --tags 8 \
 grep -q '"kind":"net.session_done"' /tmp/witag_fountain_trace_smoke.jsonl
 cargo run -q --release -p witag-cli -- report /tmp/witag_fountain_trace_smoke.jsonl \
     | grep -q 'fleet sessions'
+
+# Metro smoke: the spatial-cell engine at toy scale. The trace must carry
+# the metro-specific kinds (cell topology up front, a budget-epoch close
+# per cell) and still aggregate cleanly through `report`.
+cargo run -q --release -p witag-cli -- net --cells 4 --readers 4 --tags 200 \
+    --duty 0.08 --horizon 10000 --trace /tmp/witag_metro_trace_smoke.jsonl
+grep -q '"kind":"net.cell_assign"' /tmp/witag_metro_trace_smoke.jsonl
+grep -q '"kind":"net.cell_epoch"' /tmp/witag_metro_trace_smoke.jsonl
+cargo run -q --release -p witag-cli -- report /tmp/witag_metro_trace_smoke.jsonl \
+    | grep -q 'fleet sessions'
+
+# Docs link check: every relative markdown link in the top-level docs and
+# docs/ must resolve to a real file — ARCHITECTURE.md, DESIGN.md,
+# EXPERIMENTS.md and OBS_SCHEMA.md cross-reference each other heavily and
+# a rename must not leave dangling pointers.
+python3 - <<'EOF'
+import os, re
+roots = ['README.md', 'DESIGN.md', 'EXPERIMENTS.md', 'ROADMAP.md'] + \
+    [os.path.join('docs', f) for f in sorted(os.listdir('docs')) if f.endswith('.md')]
+bad = []
+for path in roots:
+    text = open(path).read()
+    for m in re.finditer(r'\]\(([^)\s]+)\)', text):
+        target = m.group(1).split('#')[0]
+        if not target or target.startswith(('http://', 'https://', 'mailto:')):
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            bad.append(f'{path}: {m.group(1)}')
+assert not bad, '\n'.join(bad)
+print(f'docs link check: {len(roots)} files ok')
+EOF

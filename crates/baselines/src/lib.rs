@@ -16,6 +16,10 @@
 //!   per-packet codeword translation, on real legacy OFDM PPDUs;
 //! * [`interference`] — secondary-channel victim-loss model for
 //!   channel-shifting tags (INTF experiment).
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -21,6 +21,10 @@
 //! (default 150 rounds ≈ 9,300 tag bits per measurement point).
 //!
 //! Criterion micro-benchmarks for the hot paths live under `benches/`.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -16,6 +16,10 @@
 //! the paper cites in §6.2: power ∝ 1/(Ds²·Dr²), minimised when the tag
 //! sits midway between transmitter and receiver — the cause of Figure 5's
 //! U-shaped BER curve.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -17,14 +17,23 @@
 //!              [--horizon 2000] [--seed 42] [--window 4]
 //!              [--duty 0.0] [--duty-period 4000]
 //!              [--replicas 1] [--threads N] [--trace out.jsonl]
+//! witag net    --cells 16 [--readers 16] [--tags 10000]
+//!              [--scheduler rr|fair|edf|serial|pred] [--channels 3]
+//!              [--batch 8] [--epoch 1000] [--horizon 60000] [--seed 42]
+//!              [--duty 0.0] [--duty-period 4000]
+//!              [--threads N] [--trace out.jsonl]
 //! witag report <trace.jsonl>
 //! witag floorplan
 //! ```
 //!
 //! Every subcommand prints a deterministic result for a given `--seed`.
-//! `--trace` streams a `witag-obs/1` JSONL event trace (schema:
+//! `--trace` streams a `witag-obs/2` JSONL event trace (schema:
 //! `docs/OBS_SCHEMA.md`); `report` aggregates such a trace into a
 //! summary table. The trace bytes are independent of `--threads`.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 
@@ -41,7 +50,9 @@ use witag::tagnet::{
     deliver, session_over_experiment, session_over_experiment_obs, SessionConfig, SessionOutcome,
 };
 use witag_faults::FaultPlan;
-use witag_net::{run_replicas, FleetConfig, FleetReport, SchedulerKind, Transport};
+use witag_net::{
+    run_metro, run_replicas, FleetConfig, FleetReport, MetroConfig, SchedulerKind, Transport,
+};
 use witag_obs::{BufferRecorder, Event, JsonlRecorder, NullRecorder, Recorder, TraceSummary};
 use witag_channel::{Link, LinkConfig};
 use witag_sim::geom::Floorplan;
@@ -105,11 +116,15 @@ fn usage() {
          \x20 net        fleet run: N clients x M tags on one medium under a\n\
          \x20            --scheduler (rr|fair|edf|serial|pred) and a\n\
          \x20            --transport (arq|fountain); prints goodput,\n\
-         \x20            latency percentiles, airtime shares, collision rate\n\
+         \x20            latency percentiles, airtime shares, collision rate.\n\
+         \x20            With --cells N: the metro-scale engine (spatial\n\
+         \x20            cells with --channels reuse, --readers readers,\n\
+         \x20            batched grants, hierarchical scheduling) for\n\
+         \x20            10^4..10^6 tags\n\
          \x20 report     summarise a --trace JSONL file (docs/OBS_SCHEMA.md)\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
          `sweep`, `faults` and `net` accept --trace <path> to stream a\n\
-         witag-obs/1 event trace; see EXPERIMENTS.md (TRACE + REPORT,\n\
+         witag-obs/2 event trace; see EXPERIMENTS.md (TRACE + REPORT,\n\
          PERF GATE) for walkthroughs.\n\
          run `witag <cmd> --help` semantics: all options have defaults;\n\
          see crates/cli/src/main.rs for the full list."
@@ -440,6 +455,9 @@ fn cmd_faults(a: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_net(a: &Args) -> Result<(), ArgError> {
+    if a.raw("cells").is_some() {
+        return cmd_net_metro(a);
+    }
     let clients = a.usize_or("clients", 2)?;
     let tags = a.usize_or("tags", 8)?;
     let sched_name = a.str_or("scheduler", "fair").to_string();
@@ -513,6 +531,113 @@ fn cmd_net(a: &Args) -> Result<(), ArgError> {
     for (i, rep) in reports.iter().enumerate() {
         print_fleet_report(i, tags, rep);
     }
+    Ok(())
+}
+
+/// `witag net --cells …`: the metro-scale engine (spatial cells,
+/// channel reuse, batched grants, hierarchical scheduling).
+fn cmd_net_metro(a: &Args) -> Result<(), ArgError> {
+    let cells = a.usize_or("cells", 4)?;
+    let readers = a.usize_or("readers", cells)?;
+    let tags = a.usize_or("tags", 1000)?;
+    let sched_name = a.str_or("scheduler", "fair").to_string();
+    let scheduler = match SchedulerKind::parse(&sched_name) {
+        Some(k) => k,
+        None => {
+            return Err(ArgError::BadValue {
+                key: "scheduler".into(),
+                value: sched_name,
+                expected: "rr|fair|edf|serial|pred",
+            })
+        }
+    };
+    let horizon_ms = a.u64_or("horizon", 60_000)?;
+    let seed = a.u64_or("seed", 42)?;
+    let channels = a.usize_or("channels", 3)?;
+    let batch = a.usize_or("batch", 8)? as u32;
+    let epoch_ms = a.u64_or("epoch", 1000)?;
+    let duty = a.f64_or("duty", 0.0)?;
+    let duty_period_ms = a.u64_or("duty-period", 4000)?;
+    let threads = a.usize_or("threads", witag_sim::available_threads())?;
+    let trace = trace_arg(a)?;
+    a.reject_unknown()?;
+    let mut cfg = MetroConfig::inventory(
+        cells,
+        readers,
+        tags,
+        scheduler,
+        Duration::millis(horizon_ms),
+        seed,
+    );
+    cfg.channels = channels;
+    cfg.batch = batch;
+    cfg.epoch = Duration::millis(epoch_ms);
+    if duty > 0.0 {
+        cfg = cfg.with_duty_cycle(Duration::millis(duty_period_ms), duty);
+    }
+    let outcome = if let Some(path) = &trace {
+        let mut rec = open_trace(path);
+        let r = run_metro(&cfg, threads, &mut rec);
+        close_trace(rec, path);
+        r
+    } else {
+        run_metro(&cfg, threads, &mut NullRecorder)
+    };
+    let rep = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("metro not viable: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "metro: {cells} cell(s) x {readers} reader(s) x {tags} tag(s) | scheduler {} | {} channel(s) -> {} contention domain(s)",
+        scheduler.name(),
+        channels,
+        rep.domains
+    );
+    println!(
+        "       batch {batch} | epoch {epoch_ms} ms | horizon {horizon_ms} ms | seed {seed}"
+    );
+    if duty > 0.0 {
+        println!(
+            "duty cycle: {duty:.2} ON fraction over {duty_period_ms} ms periods (phases spread)"
+        );
+    }
+    let pct = |p: f64| {
+        rep.latency_percentile(p)
+            .map_or_else(|| "-".to_string(), |us| format!("{:.1}", us / 1000.0))
+    };
+    println!(
+        "delivered {}/{tags} | grants {} | collisions {} (rate {:.3}) | probe rounds {} | elapsed {:.1} ms",
+        rep.delivered,
+        rep.grants,
+        rep.collisions,
+        rep.collision_rate(),
+        rep.probe_rounds,
+        rep.elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "goodput {:.1} Kbps | read latency ms p50 {} p90 {} p99 {} | airtime {:.1} ms across cells | deadlines met {}/{}",
+        rep.goodput_bps() / 1e3,
+        pct(50.0),
+        pct(90.0),
+        pct(99.0),
+        rep.airtime.as_secs_f64() * 1e3,
+        rep.deadline_hits,
+        rep.delivered
+    );
+    let busiest = rep
+        .cell_summaries
+        .iter()
+        .max_by_key(|c| c.grants)
+        .map_or(0, |c| c.cell);
+    println!(
+        "cells: busiest cell {} | per-cell delivery min {} max {}",
+        busiest,
+        rep.cell_summaries.iter().map(|c| c.delivered).min().unwrap_or(0),
+        rep.cell_summaries.iter().map(|c| c.delivered).max().unwrap_or(0)
+    );
     Ok(())
 }
 

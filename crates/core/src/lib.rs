@@ -41,6 +41,10 @@
 //! let stats = exp.run(5);
 //! assert!(stats.ber() < 0.05);
 //! ```
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -21,6 +21,10 @@
 //!
 //! None of this code is hardened against side channels; it exists to make
 //! the protocol semantics real, not to protect secrets.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

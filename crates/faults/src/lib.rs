@@ -30,6 +30,10 @@
 //! * **Coherence collapse** — episodes during which the channel's
 //!   coherence time shrinks by `factor` (a door slams, a forklift
 //!   drives through the Fresnel zone), accelerating fading.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -31,6 +31,10 @@
 //! merge, deterministic node ids). Run it as `cargo run -p witag-lint`
 //! (human diagnostics, nonzero exit on findings) or with `--json
 //! LINT_report.json [--threads N]` for the CI gate.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -19,6 +19,10 @@
 //! The crate deliberately models an *unmodified* MAC: nothing in here
 //! knows about tags. The WiTAG protocol (crate `witag`) composes these
 //! standard behaviours.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

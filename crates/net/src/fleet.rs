@@ -253,6 +253,8 @@ pub enum NetError {
     NoClients,
     /// The fleet has no tag profiles.
     NoTags,
+    /// A metro run was configured with zero grid cells.
+    NoCells,
     /// A tag's per-query capacity cannot carry one transport chunk.
     ChannelTooSmall {
         /// Offending tag index.
@@ -269,6 +271,7 @@ impl core::fmt::Display for NetError {
         match self {
             NetError::NoClients => write!(f, "fleet needs at least one client"),
             NetError::NoTags => write!(f, "fleet needs at least one tag"),
+            NetError::NoCells => write!(f, "metro needs at least one cell"),
             NetError::ChannelTooSmall { tag, channel_bits } => write!(
                 f,
                 "tag {tag}: {channel_bits} channel bits cannot carry a chunk \

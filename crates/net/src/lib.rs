@@ -21,19 +21,37 @@
 //! [`FleetConfig`] → byte-identical `net.*` trace and identical
 //! [`FleetReport`] at any thread count (see [`run_replicas`]).
 //!
+//! Two engines share that contract at different scales:
+//!
+//! * [`run_fleet`] / [`run_replicas`] — the full-fidelity single-medium
+//!   engine: every grant drives a real transport round (chunk FEC,
+//!   CRC). Right up to a few hundred tags.
+//! * [`run_metro`] ([`metro`]) — the metro-scale engine: spatial cell
+//!   decomposition with channel reuse, struct-of-arrays tag state,
+//!   calendar-queue wakeups, batched grant rounds and a hierarchical
+//!   (inter-cell budget over intra-cell policy) scheduler. Built for
+//!   10⁴–10⁶ tags across hundreds of readers.
+//!
 //! Entry points: [`FleetConfig::inventory`] → [`run_fleet`] /
-//! [`run_replicas`]; `witag-cli net` and the `net_scale` perf-gate
-//! section sit directly on top of them.
+//! [`run_replicas`], [`MetroConfig::inventory`] → [`run_metro`];
+//! `witag-cli net` and the `net_scale` perf-gate section sit directly
+//! on top of them. The system-wide map — how this crate composes with
+//! the PHY, MAC, transport and observability layers — is in
+//! `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod metro;
 pub mod predict;
 pub mod scheduler;
 
 pub use fleet::{
     run_fleet, run_replicas, DutyCycle, FleetConfig, FleetReport, NetError, TagOutcome,
     TagProfile, Transport, MARKER_AIRTIME,
+};
+pub use metro::{
+    run_metro, CellSummary, MetroConfig, MetroReport, CELL_SIZE_M, INTERFERENCE_RANGE_M,
 };
 pub use predict::TrafficPredictor;
 pub use scheduler::{

@@ -14,14 +14,14 @@ use core::fmt::Write as _;
 /// Schema identifier stamped on every trace (the header line of a
 /// [`JsonlRecorder`](crate::JsonlRecorder) stream). Bump only with a
 /// matching `docs/OBS_SCHEMA.md` revision.
-pub const SCHEMA: &str = "witag-obs/1";
+pub const SCHEMA: &str = "witag-obs/2";
 
 /// Every event kind the schema knows, in emission-source order. The
 /// schema-coverage test asserts each appears in `docs/OBS_SCHEMA.md`;
 /// [`MetricsRecorder`](crate::MetricsRecorder) and
 /// [`TraceSummary`](crate::TraceSummary) index their per-kind counters
 /// by position in this list.
-pub const KINDS: [&str; 18] = [
+pub const KINDS: [&str; 20] = [
     "phy_rx",
     "ba",
     "round",
@@ -40,6 +40,8 @@ pub const KINDS: [&str; 18] = [
     "tagnet.symbol",
     "tagnet.decode_progress",
     "net.predict",
+    "net.cell_assign",
+    "net.cell_epoch",
 ];
 
 /// Names for the fault-class bit positions of a `fault` event's `mask`
@@ -304,6 +306,37 @@ pub enum Event {
         /// Clients told to defer this round.
         deferred: u32,
     },
+    /// Metro-scale topology: one cell's channel, contention-domain and
+    /// membership assignment (emitted once per cell before the domain
+    /// loops start).
+    NetCellAssign {
+        /// Grid cell index.
+        cell: u32,
+        /// WiFi channel the cell operates on (reuse pattern).
+        channel: u32,
+        /// Contention domain the cell was merged into (co-channel
+        /// cells within interference range share a domain).
+        domain: u32,
+        /// Readers homed in the cell.
+        readers: u32,
+        /// Tags homed in the cell.
+        tags: u32,
+    },
+    /// The hierarchical scheduler closed one inter-cell budget epoch
+    /// for one cell (emitted per cell at every epoch rollover).
+    NetCellEpoch {
+        /// Grid cell index.
+        cell: u32,
+        /// 0-based epoch index just closed.
+        epoch: u32,
+        /// Airtime budget the cell held for the closed epoch,
+        /// microseconds.
+        budget_us: u64,
+        /// Medium accesses the cell's readers won during the epoch.
+        grants: u32,
+        /// Tags delivered in the cell so far (cumulative).
+        delivered: u32,
+    },
 }
 
 impl Event {
@@ -334,6 +367,8 @@ impl Event {
             Event::TagnetSymbol { .. } => 15,
             Event::TagnetDecodeProgress { .. } => 16,
             Event::NetPredict { .. } => 17,
+            Event::NetCellAssign { .. } => 18,
+            Event::NetCellEpoch { .. } => 19,
         }
     }
 
@@ -537,6 +572,32 @@ impl Event {
                      \"p_busy\":{p_busy:.4},\"deferred\":{deferred}"
                 );
             }
+            Event::NetCellAssign {
+                cell,
+                channel,
+                domain,
+                readers,
+                tags,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cell\":{cell},\"channel\":{channel},\"domain\":{domain},\
+                     \"readers\":{readers},\"tags\":{tags}"
+                );
+            }
+            Event::NetCellEpoch {
+                cell,
+                epoch,
+                budget_us,
+                grants,
+                delivered,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cell\":{cell},\"epoch\":{epoch},\"budget_us\":{budget_us},\
+                     \"grants\":{grants},\"delivered\":{delivered}"
+                );
+            }
         }
         out.push('}');
     }
@@ -646,6 +707,20 @@ pub(crate) fn all_sample_events() -> Vec<Event> {
             busy_ewma: 0.4375,
             p_busy: 0.3912,
             deferred: 1,
+        },
+        Event::NetCellAssign {
+            cell: 5,
+            channel: 2,
+            domain: 5,
+            readers: 1,
+            tags: 250,
+        },
+        Event::NetCellEpoch {
+            cell: 5,
+            epoch: 3,
+            budget_us: 250_000,
+            grants: 41,
+            delivered: 96,
         },
     ]
 }

@@ -19,7 +19,7 @@ use crate::Recorder;
 /// [`io::Write`] sink.
 ///
 /// On construction it writes the schema header line
-/// `{"schema":"witag-obs/1"}`. After any sink error the recorder
+/// `{"schema":"witag-obs/2"}`. After any sink error the recorder
 /// reports `enabled() == false` (so instrumented code stops building
 /// events) and the error is returned by [`finish`](Self::finish).
 ///
@@ -30,7 +30,7 @@ use crate::Recorder;
 /// let bytes = rec.finish().unwrap();
 /// let text = String::from_utf8(bytes).unwrap();
 /// let mut lines = text.lines();
-/// assert_eq!(lines.next(), Some("{\"schema\":\"witag-obs/1\"}"));
+/// assert_eq!(lines.next(), Some("{\"schema\":\"witag-obs/2\"}"));
 /// assert_eq!(
 ///     lines.next(),
 ///     Some("{\"kind\":\"session_chunk\",\"round\":2,\"chunk\":1}")
@@ -189,7 +189,7 @@ mod tests {
         let text = String::from_utf8(rec.finish().unwrap()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "{\"schema\":\"witag-obs/1\"}");
+        assert_eq!(lines[0], "{\"schema\":\"witag-obs/2\"}");
         assert!(lines[1].contains("\"classes\":\"burst\""));
         assert!(lines[2].contains("\"base\":6"));
     }

@@ -29,6 +29,10 @@
 //! (in-memory counters + fixed-bucket histograms), [`BufferRecorder`]
 //! (event capture for shard merging and tests) and [`SharedRecorder`]
 //! (interior-mutability adapter when two seams feed one sink).
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -21,7 +21,7 @@ use crate::jsonl::{field_bool, field_f64, field_str, field_u64};
 ///
 /// ```
 /// let mut s = witag_obs::TraceSummary::default();
-/// s.ingest_line("{\"schema\":\"witag-obs/1\"}");
+/// s.ingest_line("{\"schema\":\"witag-obs/2\"}");
 /// s.ingest_line("{\"kind\":\"round\",\"round\":0,\"triggered\":true,\
 ///                \"ba_lost\":false,\"bits\":62,\"bit_errors\":1,\"airtime_us\":2000}");
 /// assert_eq!(s.events(), 1);
@@ -321,7 +321,7 @@ mod tests {
     fn roundtrips_every_kind_through_the_writer() {
         let events = crate::event::all_sample_events();
         let s = summarise(&events);
-        assert_eq!(s.schema(), Some("witag-obs/1"));
+        assert_eq!(s.schema(), Some("witag-obs/2"));
         assert_eq!(s.events(), events.len() as u64);
         assert_eq!(s.unknown(), 0);
         for kind in KINDS {

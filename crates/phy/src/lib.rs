@@ -24,6 +24,10 @@
 //!
 //! The crate is deterministic and allocation-conscious; no RNG is used
 //! anywhere in the signal path (noise is injected by `witag-channel`).
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

@@ -9,7 +9,10 @@
 //!   The whole simulation is reproducible from a single `u64` seed; no
 //!   external RNG crate is used on any simulation path.
 //! * [`event`] — a discrete-event queue with stable FIFO ordering among
-//!   simultaneous events.
+//!   simultaneous events, behind the [`Timeline`] abstraction.
+//! * [`calendar`] — a bucketed calendar queue with the same contract but
+//!   O(1) amortized insert/pop, for simulations holding millions of
+//!   pending wakeups (the metro-scale fleet engine).
 //! * [`stats`] — streaming statistics (Welford), sample sets with exact
 //!   percentiles, empirical CDFs, and histograms used by the experiment
 //!   harness and the benchmark binaries.
@@ -20,9 +23,14 @@
 //! Design follows the event-driven, allocation-conscious style of smoltcp:
 //! no async runtime, no interior mutability on hot paths, and exhaustive
 //! doc coverage of what is and is not modelled.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod event;
 pub mod geom;
 pub mod parallel;
@@ -30,7 +38,8 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use calendar::CalendarQueue;
+pub use event::{EventQueue, ScheduledEvent, Timeline};
 pub use parallel::{available_threads, par_map};
 pub use geom::{Floorplan, Material, Obstacle, Point2, Segment};
 pub use rng::Rng;

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use witag_sim::geom::{Floorplan, Point2, Segment};
 use witag_sim::stats::{RunningStats, SampleSet};
 use witag_sim::time::{Duration, Instant};
-use witag_sim::{EventQueue, Rng};
+use witag_sim::{CalendarQueue, EventQueue, Rng, Timeline};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -52,6 +52,74 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        seed in any::<u64>(),
+        width_ns in 1u64..100_000,
+        ops in proptest::collection::vec(0u8..4, 1..400),
+    ) {
+        // Drive the bucketed calendar and the BinaryHeap-backed
+        // EventQueue through one random schedule of interleaved
+        // inserts, pops (removal) and time advances; every pop must
+        // agree on (time, seq, payload) — the Timeline contract.
+        let mut cal: CalendarQueue<u64> =
+            CalendarQueue::with_width(Duration::nanos(width_ns));
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut payload = 0u64;
+        for &op in &ops {
+            let dt = rng.below(5_000_000);
+            match op {
+                // Insert at a random offset past `now` (both clocks
+                // advance identically, so the offsets stay legal).
+                0 | 1 => {
+                    let at = Timeline::<u64>::now(&heap) + Duration::nanos(dt);
+                    let sa = cal.schedule(at, payload);
+                    let sb = heap.schedule(at, payload);
+                    prop_assert_eq!(sa, sb, "seq ids must track");
+                    payload += 1;
+                }
+                // Remove the earliest pending event from both.
+                2 => {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!(a.at, b.at);
+                            prop_assert_eq!(a.seq, b.seq);
+                            prop_assert_eq!(a.payload, b.payload);
+                        }
+                        (a, b) => prop_assert!(false, "pop mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+                // Advance time by scheduling + popping a marker whose
+                // payload is drawn from one shared stream.
+                _ => {
+                    let m = rng.next_u64();
+                    cal.schedule_in(Duration::nanos(dt), m);
+                    heap.schedule_in(Duration::nanos(dt), m);
+                    prop_assert_eq!(cal.pop().map(|e| e.at), heap.pop().map(|e| e.at));
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(Timeline::<u64>::now(&cal), Timeline::<u64>::now(&heap));
+            prop_assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Drain both: the full remaining order must agree.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.at, b.at);
+                    prop_assert_eq!(a.seq, b.seq);
+                    prop_assert_eq!(a.payload, b.payload);
+                }
+                (a, b) => prop_assert!(false, "drain mismatch: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   smearing the schedule,
 //! * [`power`] — the power budget and energy-harvesting feasibility
 //!   numbers behind the battery-free claim.
+//!
+//! The system-wide map — crate graph, data flow, determinism/replay
+//! contract, fault/observability/lint hooks — is `docs/ARCHITECTURE.md`
+//! at the repository root.
 
 #![forbid(unsafe_code)]
 

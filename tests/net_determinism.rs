@@ -7,7 +7,9 @@
 //! while round-robin lets it hog the medium.
 
 use witag_faults::FaultPlan;
-use witag_net::{run_fleet, run_replicas, FleetConfig, SchedulerKind, Transport};
+use witag_net::{
+    run_fleet, run_metro, run_replicas, FleetConfig, MetroConfig, SchedulerKind, Transport,
+};
 use witag_obs::{BufferRecorder, NullRecorder};
 use witag_sim::time::Duration;
 
@@ -199,6 +201,36 @@ fn pred_policy_is_deterministic_and_completes_the_inventory() {
         trace_bytes(&one).contains("\"kind\":\"net.predict\""),
         "pred policy must emit net.predict events"
     );
+}
+
+#[test]
+fn ten_thousand_tag_metro_is_byte_identical_across_thread_counts() {
+    // The metro-scale acceptance pin: a 10k-tag, 16-cell duty-cycled
+    // metro on a single shared channel (so contention domains span
+    // multiple cells and the hierarchical budget layer is live) must
+    // produce byte-identical traces and identical reports at 1 and 4
+    // threads.
+    let mut cfg = MetroConfig::inventory(
+        16,
+        16,
+        10_000,
+        SchedulerKind::Fair,
+        Duration::secs(60),
+        0xA11CE,
+    )
+    .with_duty_cycle(Duration::secs(4), 0.08);
+    cfg.channels = 1;
+    let mut one = BufferRecorder::new();
+    let mut four = BufferRecorder::new();
+    let a = run_metro(&cfg, 1, &mut one).expect("valid metro");
+    let b = run_metro(&cfg, 4, &mut four).expect("valid metro");
+    assert_eq!(a, b, "metro reports must not depend on threads");
+    assert_eq!(trace_bytes(&one), trace_bytes(&four), "metro traces must be byte-identical");
+    assert!(a.domains < a.cells, "single channel must merge cells into domains");
+    assert!(a.delivered > 0);
+    let bytes = trace_bytes(&one);
+    assert!(bytes.contains("\"kind\":\"net.cell_assign\""));
+    assert!(bytes.contains("\"kind\":\"net.cell_epoch\""));
 }
 
 #[test]
