@@ -52,6 +52,19 @@ WITAG_PERF_QUICK=1 WITAG_PERF_OUT=/tmp/witag_perf_smoke.json \
 python3 -c "import json; json.load(open('/tmp/witag_perf_smoke.json'))"
 python3 - <<'EOF'
 import json
+r = json.load(open('/tmp/witag_perf_smoke.json'))
+assert r['schema'] == 'witag-phy-bench-v3', r['schema']
+rows = r['mimo']['rows']
+seen = {(row['streams'], row['equaliser']) for row in rows}
+for nss in (1, 2, 3):
+    for eq in ('zf', 'mmse'):
+        assert (nss, eq) in seen, f'missing mimo row {nss}x{nss} {eq}'
+for row in rows:
+    assert row['receive_mu_256B_per_stream_ns'] > 0, row
+print(f"mimo gate: {len(rows)} receive_mu rows — ok")
+EOF
+python3 - <<'EOF'
+import json
 r = json.load(open('/tmp/witag_net_smoke.json'))
 assert r['schema'] == 'witag-net-scale-v4', r['schema']
 assert r['scale'], r
@@ -111,6 +124,36 @@ grep -q '"kind":"net.cell_assign"' /tmp/witag_metro_trace_smoke.jsonl
 grep -q '"kind":"net.cell_epoch"' /tmp/witag_metro_trace_smoke.jsonl
 cargo run -q --release -p witag-cli -- report /tmp/witag_metro_trace_smoke.jsonl \
     | grep -q 'fleet sessions'
+
+# MOXcatter smoke: the spatial-multiplexing scenario — a streams × distance
+# sweep traced to JSONL. The trace must carry the phy.mimo.* family (one
+# sound per point, one stream row per spatial stream) and the sweep must
+# show the headline effect: at 2 streams the single tag corrupts both
+# block-ACK bitmaps.
+cargo run -q --release -p witag-cli -- mox --streams 1,2 --from 1 --to 3 \
+    --step 1 --threads 2 --trace /tmp/witag_mox_trace_smoke.jsonl
+grep -q '"kind":"phy.mimo.sound"' /tmp/witag_mox_trace_smoke.jsonl
+grep -q '"kind":"phy.mimo.stream"' /tmp/witag_mox_trace_smoke.jsonl
+cargo run -q --release -p witag-cli -- report /tmp/witag_mox_trace_smoke.jsonl \
+    | grep -q 'phy.mimo.sound'
+python3 - <<'EOF'
+import json
+hits = {}
+for line in open('/tmp/witag_mox_trace_smoke.jsonl'):
+    e = json.loads(line)
+    if e.get('kind') == 'phy.mimo.sound':
+        streams = {}
+        hits[e['index']] = (e['streams'], streams)
+    elif e.get('kind') == 'phy.mimo.stream':
+        hits[e['index']][1][e['stream']] = e['hit']
+assert hits, 'mox trace carried no phy.mimo.sound events'
+for index, (n, streams) in hits.items():
+    assert len(streams) == n, f'point {index}: {len(streams)} stream rows, want {n}'
+    if n >= 2:
+        assert all(streams.values()), \
+            f'point {index}: tag must corrupt every multiplexed stream, got {streams}'
+print(f'mox gate: {len(hits)} sweep points — ok')
+EOF
 
 # Docs link check: every relative markdown link in the top-level docs and
 # docs/ must resolve to a real file — ARCHITECTURE.md, DESIGN.md,

@@ -310,6 +310,57 @@ fn bench_demap_chunked_vs_scalar(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_mimo_equaliser(c: &mut Criterion) {
+    // The per-subcarrier weight solve is the only genuinely new inner
+    // loop of the multi-stream chain: Gauss-Jordan over 2×2/3×3/4×4
+    // complex matrices, once per data subcarrier per PPDU. Benchmark the
+    // solve alone over a symbol's worth of matrices (52 tones), ZF vs
+    // MMSE, plus the end-to-end 2-stream `receive_mu` chain.
+    use witag_phy::complex::{c64, Complex64};
+    use witag_phy::mimo::{transmit_mu, MimoEqualiser, MAX_NSS};
+    use witag_phy::receiver::receive_mu_with_scratch;
+
+    let mut rng = Rng::seed_from_u64(9);
+    let mut g = c.benchmark_group("mimo_equaliser");
+    for nss in [2usize, 3, 4] {
+        // 52 well-conditioned matrices: Gaussian entries + diagonal
+        // dominance, the same conditioning the solver proptests use.
+        let mats: Vec<[Complex64; MAX_NSS * MAX_NSS]> = (0..52)
+            .map(|_| {
+                let mut h = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+                for (k, e) in h.iter_mut().take(nss * nss).enumerate() {
+                    let diag = if k % (nss + 1) == 0 { nss as f64 + 1.0 } else { 0.0 };
+                    *e = c64(rng.gaussian() + diag, rng.gaussian());
+                }
+                h
+            })
+            .collect();
+        let mut w = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        g.throughput(Throughput::Elements(mats.len() as u64));
+        for eq in [MimoEqualiser::Zf, MimoEqualiser::Mmse] {
+            g.bench_function(&format!("{}_52_tones_{nss}x{nss}", eq.name()), |b| {
+                b.iter(|| {
+                    for h in &mats {
+                        eq.weights(std::hint::black_box(h), nss, 1e-3, &mut w);
+                        std::hint::black_box(&w);
+                    }
+                });
+            });
+        }
+    }
+    let mut cfg = PhyConfig::new(Mcs::ht(13));
+    let psdus = vec![vec![0x5Au8; 256], vec![0xA5u8; 256]];
+    let mut scratch = RxScratch::new();
+    for eq in [MimoEqualiser::Zf, MimoEqualiser::Mmse] {
+        cfg.equaliser = eq;
+        let mu = transmit_mu(&cfg, &psdus);
+        g.bench_function(&format!("receive_mu_2x256B_{}", eq.name()), |b| {
+            b.iter(|| receive_mu_with_scratch(std::hint::black_box(&mu), 1e-6, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_viterbi,
@@ -319,6 +370,7 @@ criterion_group!(
     bench_demap_chunked_vs_scalar,
     bench_receive_mcs_sweep,
     bench_receive_many,
+    bench_mimo_equaliser,
     bench_phy_chain,
     bench_ampdu,
     bench_ccmp,

@@ -24,9 +24,11 @@
 #![forbid(unsafe_code)]
 
 pub mod link;
+pub mod mimo;
 pub mod pathloss;
 
 pub use link::{Link, LinkConfig, TagMode, TagSchedule};
+pub use mimo::{MimoLink, MimoLinkConfig};
 pub use pathloss::{
     backscatter_amplitude, db_to_linear, freespace_amplitude, freespace_loss_db, linear_to_db,
     noise_floor_dbm, wavelength, SPEED_OF_LIGHT,

@@ -50,7 +50,7 @@ pub enum TagMode {
 
 impl TagMode {
     /// Multiplier applied to the geometric tag ray.
-    fn coefficient(self) -> Complex64 {
+    pub(crate) fn coefficient(self) -> Complex64 {
         match self {
             TagMode::Absent | TagMode::OpenCircuit => Complex64::ZERO,
             TagMode::ShortCircuit | TagMode::Phase0 => Complex64::ONE,
@@ -406,7 +406,10 @@ impl Link {
 
     /// Highest HT MCS (0–7, single stream) whose SNR requirement clears
     /// this link's SNR by `margin_db` — the querier's rate selection
-    /// (paper §4.1).
+    /// (paper §4.1). A `Link` models one antenna pair, so single-stream
+    /// picks are all it can justify; on an antenna array use
+    /// [`crate::MimoLink::best_mcs`], which rates multi-stream MCS
+    /// indices (8–31) from the measured post-equalisation SNR.
     pub fn best_mcs(&self, margin_db: f64) -> Mcs {
         let snr = self.snr_db();
         let mut best = 0usize;
@@ -518,17 +521,22 @@ impl Link {
                 .collect::<Vec<_>>()
         };
 
-        // LTF: channel in the schedule's LTF mode. Interference during the
-        // preamble corrupts the estimate itself.
+        // LTF symbols: channel in the schedule's LTF mode (the tag holds
+        // one state across the whole training field — it cannot see
+        // training-symbol boundaries). Interference during the preamble
+        // corrupts the estimate itself.
         let ltf_intf = if overlaps(0.0, preamble) { intf_var } else { 0.0 };
-        let ltf = OfdmSymbol {
-            streams: ppdu
-                .ltf
-                .streams
-                .iter()
-                .map(|s| noisy(s, &h_ltf, ltf_intf))
-                .collect(),
-        };
+        let ltfs: Vec<OfdmSymbol> = ppdu
+            .ltfs
+            .iter()
+            .map(|sym| OfdmSymbol {
+                streams: sym
+                    .streams
+                    .iter()
+                    .map(|s| noisy(s, &h_ltf, ltf_intf))
+                    .collect(),
+            })
+            .collect();
 
         // DATA symbols.
         let mut symbols = Vec::with_capacity(ppdu.symbols.len());
@@ -547,7 +555,7 @@ impl Link {
         Ppdu {
             config: ppdu.config.clone(),
             psdu_len: ppdu.psdu_len,
-            ltf,
+            ltfs,
             symbols,
         }
     }

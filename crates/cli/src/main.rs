@@ -22,6 +22,9 @@
 //!              [--batch 8] [--epoch 1000] [--horizon 60000] [--seed 42]
 //!              [--duty 0.0] [--duty-period 4000]
 //!              [--threads N] [--trace out.jsonl]
+//! witag mox    [--streams 1,2,3] [--mcs 7] [--subframes 16] [--payload 64]
+//!              [--eq zf|mmse] [--from 1] [--to 7] [--step 1] [--seed 2]
+//!              [--threads N] [--trace out.jsonl]
 //! witag report <trace.jsonl>
 //! witag floorplan
 //! ```
@@ -45,6 +48,7 @@ use std::path::Path;
 
 use args::{ArgError, Args};
 use witag::experiment::{Experiment, ExperimentConfig, SecurityMode};
+use witag::moxcatter::{run_point, MoxConfig};
 use witag::query::QueryDesign;
 use witag::tagnet::{
     deliver, session_over_experiment, session_over_experiment_obs, SessionConfig, SessionOutcome,
@@ -79,6 +83,7 @@ fn main() {
         "send" => cmd_send(&parsed),
         "faults" => cmd_faults(&parsed),
         "net" => cmd_net(&parsed),
+        "mox" => cmd_mox(&parsed),
         "report" => cmd_report(&parsed),
         "floorplan" => cmd_floorplan(&parsed),
         "help" | "--help" | "-h" => {
@@ -121,9 +126,11 @@ fn usage() {
          \x20            cells with --channels reuse, --readers readers,\n\
          \x20            batched grants, hierarchical scheduling) for\n\
          \x20            10^4..10^6 tags\n\
+         \x20 mox        MOXcatter MIMO sweep: streams x MCS x tag distance,\n\
+         \x20            per-stream block-ACK corruption from one tag\n\
          \x20 report     summarise a --trace JSONL file (docs/OBS_SCHEMA.md)\n\
          \x20 floorplan  print the simulated testbed geometry\n\n\
-         `sweep`, `faults` and `net` accept --trace <path> to stream a\n\
+         `sweep`, `faults`, `net` and `mox` accept --trace <path> to stream a\n\
          witag-obs/2 event trace; see EXPERIMENTS.md (TRACE + REPORT,\n\
          PERF GATE) for walkthroughs.\n\
          run `witag <cmd> --help` semantics: all options have defaults;\n\
@@ -305,6 +312,120 @@ fn cmd_sweep(a: &Args) -> Result<(), ArgError> {
                 index: i as u32,
                 distance_m: *d,
             });
+            if let Some(buf) = buf {
+                buf.replay_into(&mut rec);
+            }
+        }
+        close_trace(rec, &path);
+    }
+    Ok(())
+}
+
+/// `witag mox` — the MOXcatter MIMO sweep: multiplexed per-stream
+/// A-MPDUs through a matrix channel with one modulating tag, reporting
+/// how the corruption lands on every stream's block-ACK bitmap.
+fn cmd_mox(a: &Args) -> Result<(), ArgError> {
+    let streams_raw = a.str_or("streams", "2").to_string();
+    let streams_list: Vec<usize> = streams_raw
+        .split(',')
+        .map(|t| {
+            t.trim().parse::<usize>().ok().filter(|n| (1..=4).contains(n)).ok_or_else(|| {
+                ArgError::BadValue {
+                    key: "streams".into(),
+                    value: streams_raw.clone(),
+                    expected: "comma list of stream counts 1-4",
+                }
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let base_mcs = a.usize_or("mcs", 7)?;
+    if base_mcs > 7 {
+        return Err(ArgError::BadValue {
+            key: "mcs".into(),
+            value: base_mcs.to_string(),
+            expected: "base HT MCS index 0-7",
+        });
+    }
+    let subframes = a.usize_or("subframes", 16)?;
+    let payload = a.usize_or("payload", 64)?;
+    let eq = match a.str_or("eq", "mmse") {
+        "zf" => witag_phy::MimoEqualiser::Zf,
+        "mmse" => witag_phy::MimoEqualiser::Mmse,
+        other => {
+            return Err(ArgError::BadValue {
+                key: "eq".into(),
+                value: other.to_string(),
+                expected: "zf or mmse",
+            })
+        }
+    };
+    let from = a.f64_or("from", 1.0)?;
+    let to = a.f64_or("to", 7.0)?;
+    let step = a.f64_or("step", 1.0)?;
+    let seed = a.u64_or("seed", 2)?;
+    let threads = a.usize_or("threads", witag_sim::available_threads())?;
+    let trace = trace_arg(a)?;
+    a.reject_unknown()?;
+
+    let mut distances = Vec::new();
+    let mut d = from;
+    while d <= to + 1e-9 {
+        distances.push(d);
+        d += step.max(0.01);
+    }
+    // One point per (streams, distance) combo, globally indexed in print
+    // order so the trace's `index` stamps are sweep-order stable.
+    let points: Vec<(usize, f64)> = streams_list
+        .iter()
+        .flat_map(|&n| distances.iter().map(move |&d| (n, d)))
+        .collect();
+    let tracing = trace.is_some();
+    // Points are independent; parallelise like `sweep` with per-point
+    // buffers replayed in point order for thread-count-invariant traces.
+    let results = witag_sim::par_map(points.len(), threads, |i| {
+        let (n, d) = points[i];
+        let cfg = MoxConfig {
+            streams: n,
+            base_mcs,
+            subframes,
+            payload_bytes: payload,
+            equaliser: eq,
+            seed,
+        };
+        if tracing {
+            let mut buf = BufferRecorder::new();
+            let r = run_point(i as u32, d, &cfg, &mut buf);
+            (r, Some(buf))
+        } else {
+            (run_point(i as u32, d, &cfg, &mut NullRecorder), None)
+        }
+    });
+
+    println!(
+        "{:>7} {:>4} {:>8} {:>9} {:>9} {:>12} {:>5}",
+        "streams", "mcs", "dist (m)", "snr min", "snr max", "acked", "hit"
+    );
+    for ((n, d), (r, _)) in points.iter().zip(results.iter()) {
+        let acked: Vec<String> = r
+            .streams
+            .iter()
+            .map(|s| format!("{}/{}", s.acked, s.subframes))
+            .collect();
+        println!(
+            "{:>7} {:>4} {:>8.2} {:>9.1} {:>9.1} {:>12} {:>3}/{}",
+            n,
+            8 * (n - 1) + base_mcs,
+            d,
+            r.snr_min_db,
+            r.snr_max_db,
+            acked.join(" "),
+            r.streams_hit(),
+            n
+        );
+    }
+    if let Some(path) = trace {
+        let mut rec = open_trace(&path);
+        for (_, buf) in &results {
             if let Some(buf) = buf {
                 buf.replay_into(&mut rec);
             }

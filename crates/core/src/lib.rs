@@ -51,6 +51,7 @@
 pub mod experiment;
 pub mod fec;
 pub mod fountain;
+pub mod moxcatter;
 pub mod query;
 pub mod reader;
 pub mod tagnet;
@@ -60,6 +61,7 @@ pub use experiment::{
     RoundResult, SecurityMode,
 };
 pub use fec::FecLayout;
+pub use moxcatter::{MoxConfig, MoxPointResult, MoxStreamResult};
 pub use fountain::{
     DegreeDistribution, FountainDecoder, FountainEncoder, FountainQuery, FountainReceiver,
     FountainSender,

@@ -21,7 +21,7 @@ pub const SCHEMA: &str = "witag-obs/2";
 /// [`MetricsRecorder`](crate::MetricsRecorder) and
 /// [`TraceSummary`](crate::TraceSummary) index their per-kind counters
 /// by position in this list.
-pub const KINDS: [&str; 20] = [
+pub const KINDS: [&str; 22] = [
     "phy_rx",
     "ba",
     "round",
@@ -42,6 +42,8 @@ pub const KINDS: [&str; 20] = [
     "net.predict",
     "net.cell_assign",
     "net.cell_epoch",
+    "phy.mimo.sound",
+    "phy.mimo.stream",
 ];
 
 /// Names for the fault-class bit positions of a `fault` event's `mask`
@@ -337,6 +339,38 @@ pub enum Event {
         /// Tags delivered in the cell so far (cumulative).
         delivered: u32,
     },
+    /// One MOXcatter sweep point sounded its MIMO channel: the measured
+    /// post-equalisation SNR envelope the rate/stream selection saw.
+    MimoSound {
+        /// 0-based sweep point index.
+        index: u32,
+        /// Spatial streams multiplexed at this point.
+        streams: u32,
+        /// HT MCS index used for the data frames.
+        mcs: u32,
+        /// Tag distance from the client (array centre), metres.
+        distance_m: f64,
+        /// Worst stream's post-equalisation SNR, dB.
+        snr_min_db: f64,
+        /// Best stream's post-equalisation SNR, dB.
+        snr_max_db: f64,
+    },
+    /// Per-stream block-ACK outcome of one MOXcatter sweep point: how
+    /// the tag's cross-stream leakage landed on this stream's bitmap.
+    MimoStream {
+        /// 0-based sweep point index (matches the `phy.mimo.sound`
+        /// event of the same point).
+        index: u32,
+        /// 0-based spatial stream index.
+        stream: u32,
+        /// Subframes this stream's A-MPDU carried.
+        subframes: u32,
+        /// Bitmap bits set (subframes with a valid FCS).
+        acked: u32,
+        /// Whether the tag's modulation corrupted this stream (its
+        /// bitmap differs from the tag-idle control run).
+        hit: bool,
+    },
 }
 
 impl Event {
@@ -369,6 +403,8 @@ impl Event {
             Event::NetPredict { .. } => 17,
             Event::NetCellAssign { .. } => 18,
             Event::NetCellEpoch { .. } => 19,
+            Event::MimoSound { .. } => 20,
+            Event::MimoStream { .. } => 21,
         }
     }
 
@@ -598,6 +634,34 @@ impl Event {
                      \"grants\":{grants},\"delivered\":{delivered}"
                 );
             }
+            Event::MimoSound {
+                index,
+                streams,
+                mcs,
+                distance_m,
+                snr_min_db,
+                snr_max_db,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"streams\":{streams},\"mcs\":{mcs},\
+                     \"distance_m\":{distance_m:.3},\"snr_min_db\":{snr_min_db:.2},\
+                     \"snr_max_db\":{snr_max_db:.2}"
+                );
+            }
+            Event::MimoStream {
+                index,
+                stream,
+                subframes,
+                acked,
+                hit,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"stream\":{stream},\"subframes\":{subframes},\
+                     \"acked\":{acked},\"hit\":{hit}"
+                );
+            }
         }
         out.push('}');
     }
@@ -721,6 +785,21 @@ pub(crate) fn all_sample_events() -> Vec<Event> {
             budget_us: 250_000,
             grants: 41,
             delivered: 96,
+        },
+        Event::MimoSound {
+            index: 0,
+            streams: 2,
+            mcs: 15,
+            distance_m: 1.0,
+            snr_min_db: 23.9,
+            snr_max_db: 31.2,
+        },
+        Event::MimoStream {
+            index: 0,
+            stream: 1,
+            subframes: 32,
+            acked: 17,
+            hit: true,
         },
     ]
 }

@@ -166,7 +166,12 @@ impl Mcs {
             (Modulation::Qam256, CodeRate::R34) => 29.0,
             (Modulation::Qam256, _) => 31.0,
         };
-        // Each extra spatial stream needs a cleaner channel.
+        // Each extra spatial stream needs a cleaner channel. The +3 dB
+        // per stream is bookkeeping for the ZF/MMSE separation cost; the
+        // `stream_count_heuristic_matches_measured_penalty` test in
+        // `witag-channel::mimo` checks it against the measured post-
+        // equalisation SNR on scattering channels, and `MimoLink::best_mcs`
+        // uses the measured figure directly instead of this constant.
         base + 3.0 * (self.spatial_streams as f64 - 1.0)
     }
 }

@@ -14,11 +14,15 @@
 //!   → data subcarriers (+ pilot tones)
 //! ```
 //!
-//! MIMO model: spatial streams are carried on independent per-stream
-//! channels with no cross-stream interference (ideal separation). This is
-//! the fidelity the reproduction needs — the tag's channel perturbation
-//! hits *every* stream simultaneously because the tag is one physical
-//! reflector, which is exactly why WiTAG is MIMO-agnostic (paper §4).
+//! MIMO model: multi-stream PPDUs are sounded with P-mapped HT-LTF
+//! symbols ([`crate::mimo::ltf_symbols`]) and the receiver estimates the
+//! **full** `Nss×Nss` per-subcarrier channel matrix, then jointly
+//! equalises (ZF or MMSE, [`crate::mimo::MimoEqualiser`]) — cross-stream
+//! leakage is modelled, not assumed away. The historical "independent
+//! per-stream channels, ideal separation" path survives only as the
+//! `Nss = 1` degenerate case. The tag — one physical reflector — still
+//! perturbs every matrix entry at once, which is exactly why WiTAG is
+//! MIMO-agnostic (paper §4) where per-symbol-twiddling designs are not.
 
 use crate::complex::{c64, Complex64};
 use crate::convolutional::{encode_stream, puncture};
@@ -40,6 +44,9 @@ pub struct PhyConfig {
     pub guard: GuardInterval,
     /// 7-bit nonzero scrambler seed for the SERVICE field.
     pub scrambler_seed: u8,
+    /// Joint equaliser used for multi-stream receive (ignored at
+    /// `Nss = 1`, where the scalar per-subcarrier divide applies).
+    pub equaliser: crate::mimo::MimoEqualiser,
 }
 
 impl PhyConfig {
@@ -56,6 +63,7 @@ impl PhyConfig {
             bandwidth,
             guard: GuardInterval::Long,
             scrambler_seed: 0x5D,
+            equaliser: crate::mimo::MimoEqualiser::default(),
         }
     }
 
@@ -142,19 +150,25 @@ impl OfdmSymbol {
 pub struct Ppdu {
     /// The configuration it was built with.
     pub config: PhyConfig,
-    /// PSDU length in bytes (signalled in HT-SIG).
+    /// PSDU length in bytes (signalled in HT-SIG). For MU framing
+    /// ([`crate::mimo::transmit_mu`]) this is the **per-stream** length.
     pub psdu_len: usize,
-    /// Long training symbol per stream: known all-ones BPSK on every
-    /// occupied subcarrier. The receiver divides by it for CSI.
-    pub ltf: OfdmSymbol,
+    /// HT-LTF training symbols, one per training slot
+    /// (`ht_ltf_count(nss)` of them): training symbol `n` carries
+    /// `P_HTLTF[ss][n]` on every occupied subcarrier of stream `ss`. At
+    /// `Nss = 1` this is the single all-ones LTF the receiver divides by.
+    pub ltfs: Vec<OfdmSymbol>,
     /// DATA-field symbols.
     pub symbols: Vec<OfdmSymbol>,
 }
 
 impl Ppdu {
-    /// Total airtime.
+    /// Total airtime. Counts the actual DATA symbols carried (identical
+    /// to `config.airtime(psdu_len)` for single-user frames, and correct
+    /// for MU frames whose `psdu_len` is per-stream).
     pub fn airtime(&self) -> Duration {
-        self.config.airtime(self.psdu_len)
+        self.config.preamble_duration()
+            + self.config.guard.symbol_duration() * (self.symbols.len() as u64)
     }
 
     /// Per-DATA-symbol mean transmit power (used by the tag's envelope
@@ -315,14 +329,10 @@ pub fn transmit(config: &PhyConfig, psdu: &[u8]) -> Ppdu {
         symbols.push(OfdmSymbol { streams });
     }
 
-    let ltf = OfdmSymbol {
-        streams: vec![vec![Complex64::ONE; layout.n_occupied()]; nss],
-    };
-
     Ppdu {
         config: config.clone(),
         psdu_len: psdu.len(),
-        ltf,
+        ltfs: crate::mimo::ltf_symbols(nss, layout.n_occupied()),
         symbols,
     }
 }

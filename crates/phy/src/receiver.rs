@@ -20,15 +20,18 @@
 use crate::complex::Complex64;
 use crate::convolutional::{depuncture_into, viterbi_decode_stream_into, ViterbiScratch};
 use crate::interleaver::{InterleaverDims, InterleaverPerm};
+use crate::mimo::{self, MAX_NSS};
 use crate::modulation::{axis_scale, demap_symbol_into};
 use crate::ppdu::{bits_to_bytes_into, deparse_streams_into, pilot_values, OfdmSymbol, Ppdu};
 use crate::scrambler::Scrambler;
 
-/// Per-stream, per-subcarrier channel estimate (CSI), borrowing the
-/// received LTF it was estimated from. The transmitted LTF is all-ones on
-/// every occupied subcarrier, so the received LTF *is* the estimate — the
-/// seed implementation cloned the full per-stream table every call for
-/// nothing.
+/// Single-stream per-subcarrier channel estimate (CSI), borrowing the
+/// received LTF it was estimated from. The transmitted `Nss = 1` LTF is
+/// all-ones on every occupied subcarrier, so the received LTF *is* the
+/// estimate — the seed implementation cloned the full table every call
+/// for nothing. Multi-stream PPDUs estimate the full channel *matrix*
+/// instead ([`crate::mimo::estimate_into`]); this diagonal form survives
+/// as the `Nss = 1` degenerate case.
 #[derive(Debug, Clone, Copy)]
 pub struct ChannelEstimate<'a> {
     /// `h[ss][pos]` — estimated coefficient for stream `ss`, storage
@@ -102,6 +105,15 @@ pub struct RxScratch {
     /// Per-subcarrier demapper output scales, per stream — likewise
     /// hoisted (they depend only on the channel estimate and noise floor).
     pub(crate) demap_scales: Vec<f64>,
+    /// Full channel matrix estimate for multi-stream PPDUs:
+    /// `h_mat[pos*nss*nss + j*nss + i]` (RX antenna `j`, TX stream `i`).
+    pub(crate) h_mat: Vec<Complex64>,
+    /// Hoisted per-data-subcarrier equaliser weight matrices (row-major
+    /// `nss×nss` blocks, one per data position).
+    pub(crate) w_mat: Vec<Complex64>,
+    /// Per-stream jointly-equalised data subcarriers for one symbol (SoA
+    /// form for the chunked demapper).
+    pub(crate) eq_streams: Vec<Vec<Complex64>>,
 }
 
 impl RxScratch {
@@ -299,6 +311,9 @@ pub(crate) struct RxBufs<'a> {
     pub(crate) eq: &'a mut Vec<Complex64>,
     pub(crate) h_data: &'a mut Vec<Complex64>,
     pub(crate) demap_scales: &'a mut Vec<f64>,
+    pub(crate) h_mat: &'a mut Vec<Complex64>,
+    pub(crate) w_mat: &'a mut Vec<Complex64>,
+    pub(crate) eq_streams: &'a mut Vec<Vec<Complex64>>,
 }
 
 impl RxScratch {
@@ -317,11 +332,27 @@ impl RxScratch {
             eq,
             h_data,
             demap_scales,
+            h_mat,
+            w_mat,
+            eq_streams,
         } = self;
         (
             perms,
             pilots,
-            RxBufs { llrs_tx, per_stream, coded_llrs, soft, bits, viterbi, eq, h_data, demap_scales },
+            RxBufs {
+                llrs_tx,
+                per_stream,
+                coded_llrs,
+                soft,
+                bits,
+                viterbi,
+                eq,
+                h_data,
+                demap_scales,
+                h_mat,
+                w_mat,
+                eq_streams,
+            },
         )
     }
 }
@@ -341,10 +372,17 @@ pub(crate) fn decode_core(
     let config = &rx.config;
     let layout = config.layout();
     let nss = config.mcs.spatial_streams;
+    if nss > 1 {
+        // Multi-stream: full-matrix sounding + joint equalisation. The
+        // scalar path below is the Nss = 1 degenerate case and stays
+        // byte-for-byte what it has always been.
+        decode_core_mimo(rx, noise_var, perms, pilot_cache, bufs, dst);
+        return;
+    }
     let modulation = config.mcs.modulation;
     let n_bpscs = modulation.bits_per_subcarrier();
     let dims = InterleaverDims::ht(config.bandwidth, n_bpscs);
-    let est = ChannelEstimate::from_ltf(&rx.ltf);
+    let est = ChannelEstimate::from_ltf(&rx.ltfs[0]);
     let data_pos = layout.data_positions();
     let n_data = data_pos.len();
 
@@ -443,6 +481,261 @@ pub(crate) fn decode_core(
     bits_to_bytes_into(psdu_bits, &mut dst.bytes);
 }
 
+/// Widest pilot pattern the fixed-size MIMO pilot table covers (80 MHz
+/// carries 8 pilot tones).
+const MAX_PILOTS: usize = 8;
+
+/// Per-PPDU hoist for the multi-stream path: estimate the full channel
+/// matrix from the P-mapped LTFs, precompute one equaliser weight matrix
+/// per data subcarrier and the per-stream demapper scales (effective
+/// noise = per-antenna noise amplified by the equaliser row), and return
+/// the expected pilot values per RX antenna (what each antenna should
+/// see when every stream transmits the common pilot tone).
+// lint:no_alloc
+fn mimo_hoist(
+    rx: &Ppdu,
+    noise_var: f64,
+    pilots: &[Complex64],
+    bufs: &mut RxBufs<'_>,
+) -> [Complex64; MAX_NSS * MAX_PILOTS] {
+    let config = &rx.config;
+    let layout = config.layout();
+    let nss = config.mcs.spatial_streams;
+    let modulation = config.mcs.modulation;
+    let data_pos = layout.data_positions();
+    let n_data = data_pos.len();
+    assert!(nss <= MAX_NSS, "at most 4 spatial streams");
+    assert!(layout.pilot_positions().len() <= MAX_PILOTS, "pilot table bound");
+
+    mimo::estimate_into(&rx.ltfs, nss, layout.n_occupied(), bufs.h_mat);
+
+    bufs.w_mat.clear();
+    bufs.w_mat.reserve(n_data * nss * nss);
+    let eq_kind = config.equaliser;
+    let mut wbuf = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+    for &pos in data_pos {
+        let h = &bufs.h_mat[pos * nss * nss..(pos + 1) * nss * nss];
+        // A singular subcarrier falls back to identity weights: the
+        // decode proceeds and the FCS judges the result — no panic.
+        eq_kind.weights(h, nss, noise_var, &mut wbuf);
+        bufs.w_mat.extend_from_slice(&wbuf[..nss * nss]);
+    }
+
+    bufs.demap_scales.clear();
+    bufs.demap_scales.reserve(nss * n_data);
+    for ss in 0..nss {
+        for idx in 0..n_data {
+            let w = &bufs.w_mat[idx * nss * nss..(idx + 1) * nss * nss];
+            let mut amp = 0.0;
+            for j in 0..nss {
+                amp += w[ss * nss + j].norm_sqr(); // lint:allow(panic_path) ss,j < nss, w slice is nss*nss
+            }
+            bufs.demap_scales.push(axis_scale(modulation, noise_var * amp));
+        }
+    }
+
+    let mut pilot_exp = [Complex64::ZERO; MAX_NSS * MAX_PILOTS];
+    for j in 0..nss {
+        for (p, (&pos, &pv)) in layout
+            .pilot_positions()
+            .iter()
+            .zip(pilots.iter())
+            .enumerate()
+        {
+            let mut hsum = Complex64::ZERO;
+            for i in 0..nss {
+                hsum += bufs.h_mat[pos * nss * nss + j * nss + i]; // lint:allow(panic_path) estimate_into filled h_mat with n_occupied*nss*nss entries
+            }
+            pilot_exp[j * MAX_PILOTS + p] = hsum * pv;
+        }
+    }
+    pilot_exp
+}
+
+/// Jointly equalise one OFDM symbol into `bufs.eq_streams`: estimate the
+/// common phase error across **all** RX antennas (the oscillators are
+/// shared, so one CPE per symbol), then apply the hoisted per-subcarrier
+/// weight matrix `x̂ = W·(y·cpe)`.
+// lint:no_alloc
+fn mimo_equalise_symbol(
+    sym: &OfdmSymbol,
+    nss: usize,
+    data_pos: &[usize],
+    pilot_positions: &[usize],
+    pilot_exp: &[Complex64; MAX_NSS * MAX_PILOTS],
+    bufs: &mut RxBufs<'_>,
+) {
+    let mut acc = Complex64::ZERO;
+    for j in 0..nss {
+        let raw = &sym.streams[j];
+        for (p, &pos) in pilot_positions.iter().enumerate() {
+            acc += raw[pos] * pilot_exp[j * MAX_PILOTS + p].conj();
+        }
+    }
+    let cpe = if acc.abs() > 1e-12 {
+        Complex64::from_polar(1.0, -acc.arg())
+    } else {
+        Complex64::ONE
+    };
+
+    let n_data = data_pos.len();
+    for ss in 0..nss {
+        let eq = &mut bufs.eq_streams[ss];
+        eq.clear();
+        eq.reserve(n_data);
+    }
+    for (idx, &pos) in data_pos.iter().enumerate() {
+        let w = &bufs.w_mat[idx * nss * nss..(idx + 1) * nss * nss];
+        let mut y = [Complex64::ZERO; MAX_NSS];
+        for (j, yj) in y.iter_mut().enumerate().take(nss) {
+            *yj = sym.streams[j][pos] * cpe;
+        }
+        for i in 0..nss {
+            let mut x = Complex64::ZERO;
+            for j in 0..nss {
+                x += w[i * nss + j] * y[j]; // lint:allow(panic_path) i,j < nss <= MAX_NSS; w slice is nss*nss, y is MAX_NSS
+            }
+            bufs.eq_streams[i].push(x);
+        }
+    }
+}
+
+/// Multi-stream decode core (`Nss ≥ 2`): full-matrix LTF sounding, joint
+/// ZF/MMSE equalisation per data subcarrier, then the standard per-stream
+/// deinterleave → stream deparse → depuncture → Viterbi → descramble
+/// chain over the merged code stream. Same allocation discipline as the
+/// scalar core: steady state touches only pre-grown scratch buffers.
+// lint:no_alloc
+pub(crate) fn decode_core_mimo(
+    rx: &Ppdu,
+    noise_var: f64,
+    perms: &[InterleaverPerm],
+    pilot_cache: &[Vec<Complex64>],
+    bufs: &mut RxBufs<'_>,
+    dst: &mut DecodedPsdu,
+) {
+    let config = &rx.config;
+    let layout = config.layout();
+    let nss = config.mcs.spatial_streams;
+    let modulation = config.mcs.modulation;
+    let n_bpscs = modulation.bits_per_subcarrier();
+    let dims = InterleaverDims::ht(config.bandwidth, n_bpscs);
+    let data_pos = layout.data_positions();
+    let n_data = data_pos.len();
+
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)]; // lint:allow(panic_path) callers warm the cache, so perms is non-empty
+    let n_pilots = layout.pilot_positions().len();
+    let pilots: &[Complex64] =
+        &pilot_cache[pilot_cache.iter().position(|p| p.len() == n_pilots).unwrap_or(0)]; // lint:allow(panic_path) callers warm the cache, so pilot_cache is non-empty
+
+    bufs.per_stream.resize_with(bufs.per_stream.len().max(nss), Vec::new); // lint:allow(no_alloc)
+    bufs.eq_streams.resize_with(bufs.eq_streams.len().max(nss), Vec::new); // lint:allow(no_alloc)
+
+    let pilot_exp = mimo_hoist(rx, noise_var, pilots, bufs);
+
+    bufs.coded_llrs.clear();
+    bufs.coded_llrs.reserve(rx.symbols.len() * config.ncbps());
+    dst.symbol_quality.clear();
+    dst.symbol_quality.reserve(rx.symbols.len());
+
+    for sym in &rx.symbols {
+        mimo_equalise_symbol(sym, nss, data_pos, layout.pilot_positions(), &pilot_exp, bufs);
+        let mut qual_acc = 0.0;
+        for ss in 0..nss {
+            let scales = &bufs.demap_scales[ss * n_data..(ss + 1) * n_data];
+            bufs.llrs_tx.clear();
+            demap_symbol_into(&bufs.eq_streams[ss], modulation, scales, bufs.llrs_tx);
+            qual_acc +=
+                bufs.llrs_tx.iter().map(|l| l.abs()).sum::<f64>() / bufs.llrs_tx.len() as f64;
+            perm.deinterleave_into(bufs.llrs_tx, &mut bufs.per_stream[ss]);
+        }
+        dst.symbol_quality.push(qual_acc / nss as f64);
+        deparse_streams_into(&bufs.per_stream[..nss], n_bpscs, bufs.coded_llrs);
+    }
+
+    let n_sym = rx.symbols.len();
+    let n_total = n_sym * config.ndbps();
+    let mother_len = 2 * n_total;
+    depuncture_into(bufs.coded_llrs, config.mcs.code_rate, mother_len, bufs.soft);
+    viterbi_decode_stream_into(bufs.soft, n_total, bufs.viterbi, bufs.bits);
+
+    let mut scrambler = Scrambler::new(config.scrambler_seed);
+    scrambler.apply(bufs.bits);
+    let psdu_bits = &bufs.bits[16..16 + 8 * rx.psdu_len];
+    bits_to_bytes_into(psdu_bits, &mut dst.bytes);
+}
+
+/// Decode a MU PPDU ([`crate::mimo::transmit_mu`]) carrying one
+/// independent PSDU per spatial stream: joint equalisation exactly as in
+/// the multiplexed path, but each stream then runs its **own**
+/// deinterleave → depuncture → Viterbi → descramble chain (per-stream
+/// scrambler seed), yielding one [`DecodedPsdu`] per stream in stream
+/// order. This is scenario-layer code (MOXcatter), not the hot receive
+/// path — it allocates its output freely.
+pub fn receive_mu_with_scratch(
+    rx: &Ppdu,
+    noise_var: f64,
+    scratch: &mut RxScratch,
+) -> Vec<DecodedPsdu> {
+    let config = &rx.config;
+    let layout = config.layout();
+    let nss = config.mcs.spatial_streams;
+    let modulation = config.mcs.modulation;
+    let n_bpscs = modulation.bits_per_subcarrier();
+    let dims = InterleaverDims::ht(config.bandwidth, n_bpscs);
+    let data_pos = layout.data_positions();
+    let n_data = data_pos.len();
+
+    let (perms, pilot_cache, mut bufs) = scratch.split();
+    RxScratch::perm(perms, dims);
+    RxScratch::pilot_pattern(pilot_cache, layout.pilot_positions().len());
+    let perm = &perms[perms.iter().position(|p| p.dims() == dims).unwrap_or(0)]; // lint:allow(panic_path) RxScratch::perm warmed the cache above, so perms is non-empty
+    let n_pilots = layout.pilot_positions().len();
+    let pilots: &[Complex64] =
+        &pilot_cache[pilot_cache.iter().position(|p| p.len() == n_pilots).unwrap_or(0)]; // lint:allow(panic_path) RxScratch::pilot_pattern warmed the cache above, so pilot_cache is non-empty
+    let bufs = &mut bufs;
+
+    bufs.per_stream.resize_with(bufs.per_stream.len().max(nss), Vec::new);
+    bufs.eq_streams.resize_with(bufs.eq_streams.len().max(nss), Vec::new);
+    for v in bufs.per_stream[..nss].iter_mut() {
+        v.clear(); // accumulates this PPDU's full per-stream code stream
+    }
+
+    let pilot_exp = mimo_hoist(rx, noise_var, pilots, bufs);
+
+    let mut out: Vec<DecodedPsdu> = (0..nss)
+        .map(|_| DecodedPsdu { bytes: Vec::new(), symbol_quality: Vec::new() })
+        .collect();
+
+    for sym in &rx.symbols {
+        mimo_equalise_symbol(sym, nss, data_pos, layout.pilot_positions(), &pilot_exp, bufs);
+        for (ss, dst) in out.iter_mut().enumerate() {
+            let scales = &bufs.demap_scales[ss * n_data..(ss + 1) * n_data];
+            bufs.llrs_tx.clear();
+            demap_symbol_into(&bufs.eq_streams[ss], modulation, scales, bufs.llrs_tx);
+            dst.symbol_quality.push(
+                bufs.llrs_tx.iter().map(|l| l.abs()).sum::<f64>() / bufs.llrs_tx.len() as f64,
+            );
+            perm.deinterleave_append(bufs.llrs_tx, &mut bufs.per_stream[ss]);
+        }
+    }
+
+    // Per-stream DATA-field decode: each stream is its own scrambled,
+    // punctured convolutional codeword.
+    let ndbps1 = config.ndbps() / nss;
+    let n_total = rx.symbols.len() * ndbps1;
+    let mother_len = 2 * n_total;
+    for (ss, dst) in out.iter_mut().enumerate() {
+        depuncture_into(&bufs.per_stream[ss], config.mcs.code_rate, mother_len, bufs.soft);
+        viterbi_decode_stream_into(bufs.soft, n_total, bufs.viterbi, bufs.bits);
+        let mut scrambler = Scrambler::new(mimo::mu_stream_seed(config.scrambler_seed, ss));
+        scrambler.apply(bufs.bits);
+        let psdu_bits = &bufs.bits[16..16 + 8 * rx.psdu_len];
+        bits_to_bytes_into(psdu_bits, &mut dst.bytes);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,7 +807,7 @@ mod tests {
             .symbols
             .iter_mut()
             .map(|s| &mut s.streams[0])
-            .chain(core::iter::once(&mut ppdu.ltf.streams[0]))
+            .chain(core::iter::once(&mut ppdu.ltfs[0].streams[0]))
         {
             for pt in carriers.iter_mut() {
                 *pt *= h;
@@ -623,7 +916,7 @@ mod tests {
                 base
             }
         };
-        for (pos, pt) in ppdu.ltf.streams[0].iter_mut().enumerate() {
+        for (pos, pt) in ppdu.ltfs[0].streams[0].iter_mut().enumerate() {
             *pt *= Complex64::ONE + tag_path(pos, false);
         }
         let n_sym = ppdu.symbols.len();
@@ -650,7 +943,7 @@ mod tests {
         let mut ppdu = transmit(&config, &psdu);
         let noise_var: f64 = 0.02; // ~17 dB SNR, comfortable for BPSK 1/2
         let std = (noise_var / 2.0).sqrt();
-        for sym in ppdu.symbols.iter_mut().chain(core::iter::once(&mut ppdu.ltf)) {
+        for sym in ppdu.symbols.iter_mut().chain(ppdu.ltfs.iter_mut()) {
             for pt in sym.streams[0].iter_mut() {
                 *pt += c64(rng.gaussian() * std, rng.gaussian() * std);
             }

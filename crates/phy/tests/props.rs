@@ -200,6 +200,83 @@ proptest! {
     }
 
     #[test]
+    fn zf_weights_invert_any_well_conditioned_channel(
+        seed in any::<u64>(),
+        n in 1usize..=4,
+    ) {
+        // ZF is W = H⁻¹: for any diagonally-dominant (hence invertible)
+        // channel matrix, W·H must come back to the identity.
+        use witag_phy::mimo::{zf_weights, MAX_NSS};
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let mut h = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        for (k, e) in h.iter_mut().take(n * n).enumerate() {
+            let diag = if k % (n + 1) == 0 { n as f64 + 1.0 } else { 0.0 };
+            *e = c64(rng.gaussian() + diag, rng.gaussian());
+        }
+        let mut w = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        prop_assert!(zf_weights(&h, n, &mut w), "dominant matrix flagged singular");
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = Complex64::ZERO;
+                for k in 0..n {
+                    acc += w[i * n + k] * h[k * n + j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((acc - c64(expect, 0.0)).abs() < 1e-9,
+                    "WH[{i}][{j}] = {acc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mmse_collapses_to_zf_as_noise_vanishes(
+        seed in any::<u64>(),
+        n in 1usize..=4,
+    ) {
+        // At σ² → 0 the regulariser disappears and unbiased MMSE must
+        // agree with ZF entry-for-entry.
+        use witag_phy::mimo::{mmse_weights, zf_weights, MAX_NSS};
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let mut h = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        for (k, e) in h.iter_mut().take(n * n).enumerate() {
+            let diag = if k % (n + 1) == 0 { n as f64 + 1.0 } else { 0.0 };
+            *e = c64(rng.gaussian() + diag, rng.gaussian());
+        }
+        let mut wz = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        let mut wm = [Complex64::ZERO; MAX_NSS * MAX_NSS];
+        prop_assert!(zf_weights(&h, n, &mut wz));
+        prop_assert!(mmse_weights(&h, n, 1e-15, &mut wm));
+        for k in 0..n * n {
+            prop_assert!((wz[k] - wm[k]).abs() < 1e-6,
+                "entry {k}: zf {:?} vs mmse {:?}", wz[k], wm[k]);
+        }
+    }
+
+    #[test]
+    fn mu_psdus_roundtrip_any_stream_count(
+        nss in 1usize..=4,
+        mcs_idx in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        // The MU framing is its own loopback chain: N independent PSDUs
+        // in, the same N PSDUs out of the joint-equalised decode.
+        use witag_phy::mimo::{receive_mu, transmit_mu};
+        let mut rng = witag_sim::Rng::seed_from_u64(seed);
+        let psdus: Vec<Vec<u8>> = (0..nss).map(|_| {
+            let mut p = vec![0u8; 64];
+            rng.fill_bytes(&mut p);
+            p
+        }).collect();
+        let config = PhyConfig::new(Mcs::ht((nss - 1) * 8 + mcs_idx));
+        let ppdu = transmit_mu(&config, &psdus);
+        let decoded = receive_mu(&ppdu, 1e-6);
+        prop_assert_eq!(decoded.len(), nss);
+        for (i, d) in decoded.iter().enumerate() {
+            prop_assert_eq!(&d.bytes, &psdus[i], "stream {} diverged", i);
+        }
+    }
+
+    #[test]
     fn phase_flip_never_helps_llr_quality(seed in any::<u64>()) {
         // Flipping the channel can only shrink or scramble LLRs vs the
         // matched channel, never improve the mean |LLR| by a large factor.

@@ -145,3 +145,34 @@ fn experiments_are_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// MOXcatter's headline observation (and the reason WiTAG needs per-frame
+/// scheduling rather than per-stream): a single reflecting tag perturbs
+/// the whole channel *matrix*, so modulating during a spatially
+/// multiplexed A-MPDU corrupts the block-ACK bitmaps of **multiple**
+/// streams at once — the tag cannot surgically target one stream.
+#[test]
+fn moxcatter_single_tag_corrupts_multiple_streams() {
+    use witag::moxcatter::{run_point, MoxConfig};
+    use witag_obs::NullRecorder;
+
+    let cfg = MoxConfig::default();
+    assert_eq!(cfg.streams, 2);
+    let point = run_point(0, 1.0, &cfg, &mut NullRecorder);
+    assert!(
+        point.streams_hit() >= 2,
+        "tag near the client must corrupt both multiplexed streams, hit {}/{}",
+        point.streams_hit(),
+        cfg.streams
+    );
+    // Attribution is tag-only by construction (idle twin shares the
+    // seed): a popcount change is a bitmap change, so it must imply the
+    // hit flag (a hit with equal counts — same popcount, different
+    // bits — is also legitimate).
+    for s in &point.streams {
+        assert!(
+            s.acked == s.acked_idle || s.hit,
+            "acked count changed without a hit flag"
+        );
+    }
+}
